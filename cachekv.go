@@ -1,0 +1,338 @@
+// Package cachekv is the public API of the CacheKV reproduction: an
+// LSM-based key-value store designed for persistent CPU caches on
+// eADR-enabled Optane platforms (Zhong et al., "Redesigning High-Performance
+// LSM-based Key-Value Stores with Persistent CPU Caches", ICDE 2023),
+// together with the simulated hardware it runs on and the baseline systems
+// the paper compares against.
+//
+// Because real eADR hardware is unavailable (and unprogrammable from Go),
+// every store runs on a simulated platform: an Optane PMem model with
+// 256-byte XPLines and a write-combining XPBuffer, behind a persistent
+// last-level cache with CAT-style pseudo-locking. Operations are charged
+// virtual time on per-session clocks; wall-clock performance of the host
+// machine never affects results. See DESIGN.md for the full substitution
+// table.
+//
+// Basic use:
+//
+//	db, err := cachekv.Open(cachekv.Options{})
+//	s := db.Session(0)
+//	err = s.Put([]byte("k"), []byte("v"))
+//	v, err := s.Get([]byte("k"))
+//	db.Close()
+//
+// Each Session is a simulated thread pinned to a core; concurrent goroutines
+// must use separate sessions. SimulateCrash models a power failure and
+// reopens the store from its persistent state.
+package cachekv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cachekv/internal/baseline"
+	"cachekv/internal/baseline/novelsm"
+	"cachekv/internal/baseline/slmdb"
+	"cachekv/internal/core"
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/cache"
+	"cachekv/internal/kvstore"
+)
+
+// Engine selects which store design runs on the simulated platform.
+type Engine string
+
+// The available engines: the paper's contribution, its two ablation stages,
+// and the comparison systems with their eADR variants.
+const (
+	EngineCacheKV        Engine = "cachekv"
+	EnginePCSM           Engine = "pcsm"
+	EnginePCSMLIU        Engine = "pcsm+liu"
+	EngineNoveLSM        Engine = "novelsm"
+	EngineNoveLSMNoFlush Engine = "novelsm-w/o-flush"
+	EngineNoveLSMCache   Engine = "novelsm-cache"
+	EngineSLMDB          Engine = "slm-db"
+	EngineSLMDBNoFlush   Engine = "slm-db-w/o-flush"
+	EngineSLMDBCache     Engine = "slm-db-cache"
+)
+
+// ErrNotFound is returned by Get for missing (or deleted) keys.
+var ErrNotFound = kvstore.ErrNotFound
+
+// Options configure the platform and the chosen engine. The zero value opens
+// CacheKV on the paper's testbed configuration (36 MB eADR LLC, 24 cores)
+// with a 4 GiB PMem and the Section IV-A engine defaults.
+type Options struct {
+	// Engine selects the store design; default EngineCacheKV.
+	Engine Engine
+
+	// PMemMB is the simulated PMem capacity in MiB (default 4096).
+	PMemMB int
+	// VolatileCaches selects the ADR platform (volatile CPU caches) instead
+	// of the default eADR. CacheKV loses unflushed data across crashes on
+	// such a platform — the point of the paper.
+	VolatileCaches bool
+	// Cores is the simulated core count (default 24).
+	Cores int
+
+	// CacheKV-specific knobs (ignored by other engines); zero values take
+	// the paper's defaults (12 MiB pool, 2 MiB sub-MemTables, 1 flush
+	// thread).
+	PoolMB         int
+	SubMemTableKB  int
+	FlushThreads   int
+	DisableElastic bool
+	SyncThreshold  int
+	ImmZoneMB      int
+	FSMB           int // SSTable file-layer capacity (default 1024)
+	TableSizeKB    int // LSM SSTable target size
+	L0Trigger      int // L0 compaction trigger
+	BaseLevelMB    int // L1 size limit
+}
+
+// DB is an open store plus its simulated platform.
+type DB struct {
+	mu       sync.Mutex
+	machine  *hw.Machine
+	inner    kvstore.DB
+	opts     Options
+	sessions []*Session
+	closed   bool
+}
+
+// Open builds a fresh simulated platform and opens the chosen engine on it.
+func Open(opts Options) (*DB, error) {
+	cfg := hw.DefaultConfig()
+	if opts.PMemMB > 0 {
+		cfg.PMemBytes = uint64(opts.PMemMB) << 20
+	}
+	if opts.Cores > 0 {
+		cfg.Cores = opts.Cores
+	}
+	if opts.VolatileCaches {
+		cfg.Cache.Domain = cache.ADR
+	}
+	m := hw.NewMachine(cfg)
+	return openOn(m, opts)
+}
+
+func openOn(m *hw.Machine, opts Options) (*DB, error) {
+	th := m.NewThread(0)
+	inner, err := openEngine(m, opts, th)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{machine: m, inner: inner, opts: opts}, nil
+}
+
+func openEngine(m *hw.Machine, opts Options, th *hw.Thread) (kvstore.DB, error) {
+	fsBytes := uint64(1) << 30
+	if opts.FSMB > 0 {
+		fsBytes = uint64(opts.FSMB) << 20
+	}
+	if max := m.PMem.Capacity() / 2; fsBytes > max {
+		fsBytes = max
+	}
+	switch opts.Engine {
+	case EngineCacheKV, EnginePCSM, EnginePCSMLIU, "":
+		o := core.DefaultOptions()
+		o.FSBytes = fsBytes
+		if opts.PoolMB > 0 {
+			o.PoolBytes = uint64(opts.PoolMB) << 20
+		}
+		if opts.SubMemTableKB > 0 {
+			o.SubMemTableBytes = uint64(opts.SubMemTableKB) << 10
+		}
+		if opts.FlushThreads > 0 {
+			o.FlushThreads = opts.FlushThreads
+		}
+		if opts.SyncThreshold > 0 {
+			o.SyncThreshold = opts.SyncThreshold
+		}
+		if opts.ImmZoneMB > 0 {
+			o.ImmZoneBytes = uint64(opts.ImmZoneMB) << 20
+		}
+		if opts.DisableElastic {
+			o.Elastic = false
+		}
+		if opts.TableSizeKB > 0 {
+			o.LSM.TableFileSize = uint64(opts.TableSizeKB) << 10
+		}
+		if opts.L0Trigger > 0 {
+			o.LSM.L0CompactionTrigger = opts.L0Trigger
+		}
+		if opts.BaseLevelMB > 0 {
+			o.LSM.BaseLevelBytes = int64(opts.BaseLevelMB) << 20
+		}
+		switch opts.Engine {
+		case EnginePCSM:
+			o.LazyIndex = false
+			o.SkiplistCompaction = false
+		case EnginePCSMLIU:
+			o.LazyIndex = true
+			o.SkiplistCompaction = false
+		}
+		return core.Open(m, o, th)
+	case EngineNoveLSM, EngineNoveLSMNoFlush, EngineNoveLSMCache:
+		o := novelsm.DefaultOptions()
+		o.FSBytes = fsBytes
+		o.Variant = map[Engine]baseline.Variant{
+			EngineNoveLSM:        baseline.Vanilla,
+			EngineNoveLSMNoFlush: baseline.WithoutFlush,
+			EngineNoveLSMCache:   baseline.CacheSegments,
+		}[opts.Engine]
+		return novelsm.Open(m, o, th)
+	case EngineSLMDB, EngineSLMDBNoFlush, EngineSLMDBCache:
+		o := slmdb.DefaultOptions()
+		o.FSBytes = fsBytes
+		o.Variant = map[Engine]baseline.Variant{
+			EngineSLMDB:        baseline.Vanilla,
+			EngineSLMDBNoFlush: baseline.WithoutFlush,
+			EngineSLMDBCache:   baseline.CacheSegments,
+		}[opts.Engine]
+		return slmdb.Open(m, o, th)
+	default:
+		return nil, fmt.Errorf("cachekv: unknown engine %q", opts.Engine)
+	}
+}
+
+// EngineName returns the open engine's display name.
+func (db *DB) EngineName() string { return db.inner.Name() }
+
+// Session creates a simulated thread pinned to the given core. Sessions are
+// not safe for concurrent use; create one per goroutine.
+func (db *DB) Session(core int) *Session {
+	s := &Session{db: db, th: db.machine.NewThread(core)}
+	db.mu.Lock()
+	db.sessions = append(db.sessions, s)
+	db.mu.Unlock()
+	return s
+}
+
+// Flush forces all buffered writes down to the storage component.
+func (db *DB) Flush() error {
+	th := db.machine.NewThread(0)
+	return db.inner.FlushAll(th)
+}
+
+// Close stops background work. The simulated PMem contents survive; a
+// crashed-and-reopened view is available via SimulateCrash.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	th := db.machine.NewThread(0)
+	return db.inner.Close(th)
+}
+
+// SimulateCrash models a power failure: the cache applies its persistence
+// domain (eADR drains dirty lines, ADR drops them), all DRAM state is
+// discarded, and the engine is recovered from the surviving bytes. It
+// returns the recovered store; the receiver must not be used afterwards.
+func (db *DB) SimulateCrash() (*DB, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, errors.New("cachekv: store is closed")
+	}
+	db.closed = true
+	db.mu.Unlock()
+	// The crash preempts the engine: Halt makes every background thread
+	// abandon its queued work (a power failure completes nothing), then the
+	// cache applies its persistence-domain rule and volatile state drops.
+	if h, ok := db.inner.(interface{ Halt() }); ok {
+		h.Halt()
+	}
+	// Crash while the partitions are still pinned (the persistence-domain
+	// drain must see the pool), then tear the dead engine down.
+	db.machine.Crash()
+	th := db.machine.NewThread(0)
+	_ = db.inner.Close(th)
+	db.machine.Recover()
+	return openOn(db.machine, db.opts)
+}
+
+// Metrics is a snapshot of the simulated hardware counters.
+type Metrics struct {
+	WriteHitRatio      float64 // XPBuffer combining ratio (paper Fig. 4)
+	WriteAmplification float64 // media bytes written / bytes stored
+	MediaWriteBytes    int64
+	MediaReadBytes     int64
+	CacheHits          int64
+	CacheMisses        int64
+}
+
+// Metrics returns the platform's cumulative hardware counters.
+func (db *DB) Metrics() Metrics {
+	hwSnap := db.machine.PMem.Snapshot()
+	cs := db.machine.Cache.Stats()
+	return Metrics{
+		WriteHitRatio:      hwSnap.WriteHitRatio(),
+		WriteAmplification: hwSnap.WriteAmplification(),
+		MediaWriteBytes:    hwSnap.MediaWriteB,
+		MediaReadBytes:     hwSnap.MediaReadB,
+		CacheHits:          cs.Hits,
+		CacheMisses:        cs.Misses,
+	}
+}
+
+// Session is a simulated thread interacting with the store. Operations
+// advance its virtual clock by the modelled hardware cost.
+type Session struct {
+	db *DB
+	th *hw.Thread
+}
+
+// Put stores key -> value.
+func (s *Session) Put(key, value []byte) error { return s.db.inner.Put(s.th, key, value) }
+
+// Get returns the freshest value for key, or ErrNotFound.
+func (s *Session) Get(key []byte) ([]byte, error) { return s.db.inner.Get(s.th, key) }
+
+// Delete removes key.
+func (s *Session) Delete(key []byte) error { return s.db.inner.Delete(s.th, key) }
+
+// Scan visits up to limit live keys >= start in order, stopping early when
+// fn returns false; it reports how many entries were visited.
+func (s *Session) Scan(start []byte, limit int, fn func(key, value []byte) bool) (int, error) {
+	return s.db.inner.Scan(s.th, start, limit, fn)
+}
+
+// Batch is an atomic multi-key write (CacheKV engines only): every entry
+// lands in the session core's sub-MemTable and becomes durable with a single
+// header CAS, so a crash exposes either all of the batch or none of it.
+type Batch struct{ inner core.Batch }
+
+// Put queues a write into the batch.
+func (b *Batch) Put(key, value []byte) { b.inner.Put(key, value) }
+
+// Delete queues a tombstone into the batch.
+func (b *Batch) Delete(key []byte) { b.inner.Delete(key) }
+
+// Len reports the queued operation count.
+func (b *Batch) Len() int { return b.inner.Len() }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.inner.Reset() }
+
+// Apply commits a batch atomically. Only CacheKV-family engines support
+// batches; other engines return an error.
+func (s *Session) Apply(b *Batch) error {
+	e, ok := s.db.inner.(*core.Engine)
+	if !ok {
+		return fmt.Errorf("cachekv: engine %s does not support atomic batches", s.db.EngineName())
+	}
+	return e.Apply(s.th, &b.inner)
+}
+
+// VirtualNanos returns the session's virtual clock — the modelled time its
+// operations have consumed on the simulated platform.
+func (s *Session) VirtualNanos() int64 { return s.th.Clock.Now() }
+
+// Core returns the simulated core this session is pinned to.
+func (s *Session) Core() int { return s.th.Core }

@@ -1,0 +1,241 @@
+package cachekv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestOpenDefaultEngine(t *testing.T) {
+	db, err := Open(Options{PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.EngineName() != "CacheKV" {
+		t.Fatalf("EngineName = %s", db.EngineName())
+	}
+	s := db.Session(0)
+	if err := s.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get([]byte("hello"))
+	if err != nil || string(v) != "world" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := s.Get([]byte("absent")); err != ErrNotFound {
+		t.Fatalf("absent = %v", err)
+	}
+	if s.VirtualNanos() == 0 {
+		t.Fatal("operations charged no virtual time")
+	}
+}
+
+func TestAllEnginesOpen(t *testing.T) {
+	engines := []Engine{
+		EngineCacheKV, EnginePCSM, EnginePCSMLIU,
+		EngineNoveLSM, EngineNoveLSMNoFlush, EngineNoveLSMCache,
+		EngineSLMDB, EngineSLMDBNoFlush, EngineSLMDBCache,
+	}
+	for _, eng := range engines {
+		db, err := Open(Options{Engine: eng, PMemMB: 1024})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		s := db.Session(0)
+		for i := 0; i < 500; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+				t.Fatalf("%s Put: %v", eng, err)
+			}
+		}
+		if _, err := s.Get([]byte("k00250")); err != nil {
+			t.Fatalf("%s Get: %v", eng, err)
+		}
+		db.Close()
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	if _, err := Open(Options{Engine: "bogus"}); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestScanAndDelete(t *testing.T) {
+	db, err := Open(Options{PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Delete([]byte("k050"))
+	var keys []string
+	n, err := s.Scan([]byte("k048"), 4, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("scan = %d, %v", n, err)
+	}
+	want := []string{"k048", "k049", "k051", "k052"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan keys = %v", keys)
+		}
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	db, err := Open(Options{PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.Session(w)
+			for i := 0; i < 2000; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("w%d-%05d", w, i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := db.Session(0)
+	for w := 0; w < 8; w++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("w%d-01000", w))); err != nil {
+			t.Fatalf("lost w%d: %v", w, err)
+		}
+	}
+}
+
+func TestSimulateCrashEADR(t *testing.T) {
+	db, err := Open(Options{PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session(0)
+	for i := 0; i < 1000; i++ {
+		s.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db2, err := db.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	s2 := db2.Session(0)
+	for i := 0; i < 1000; i += 37 {
+		v, err := s2.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered k%05d = %q, %v", i, v, err)
+		}
+	}
+	// Old handle unusable.
+	if _, err := db.SimulateCrash(); err == nil {
+		t.Fatal("double crash on stale handle should fail")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	db, err := Open(Options{PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	for i := 0; i < 5000; i++ {
+		s.Put([]byte(fmt.Sprintf("k%06d", i)), make([]byte, 64))
+	}
+	db.Flush()
+	m := db.Metrics()
+	if m.MediaWriteBytes == 0 {
+		t.Fatal("no media writes recorded")
+	}
+	if m.WriteHitRatio <= 0 || m.WriteHitRatio > 1 {
+		t.Fatalf("write hit ratio = %v", m.WriteHitRatio)
+	}
+}
+
+func TestCustomKnobs(t *testing.T) {
+	db, err := Open(Options{
+		PMemMB:        1024,
+		PoolMB:        6,
+		SubMemTableKB: 512,
+		FlushThreads:  2,
+		SyncThreshold: 16,
+		ImmZoneMB:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	for i := 0; i < 20000; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%06d", i)), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k010000")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchPublicAPI(t *testing.T) {
+	db, err := Open(Options{PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	var b Batch
+	b.Put([]byte("acct:alice"), []byte("90"))
+	b.Put([]byte("acct:bob"), []byte("110"))
+	b.Delete([]byte("acct:carol"))
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := s.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get([]byte("acct:alice")); string(v) != "90" {
+		t.Fatalf("alice = %q", v)
+	}
+	if v, _ := s.Get([]byte("acct:bob")); string(v) != "110" {
+		t.Fatalf("bob = %q", v)
+	}
+	// Batches survive crashes atomically.
+	db2, err := db.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	s2 := db2.Session(0)
+	if v, _ := s2.Get([]byte("acct:bob")); string(v) != "110" {
+		t.Fatalf("bob after crash = %q", v)
+	}
+}
+
+func TestBatchUnsupportedEngine(t *testing.T) {
+	db, err := Open(Options{Engine: EngineNoveLSM, PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	var b Batch
+	b.Put([]byte("k"), []byte("v"))
+	if err := s.Apply(&b); err == nil {
+		t.Fatal("NoveLSM accepted a CacheKV batch")
+	}
+}

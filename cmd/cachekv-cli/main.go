@@ -1,0 +1,129 @@
+// Command cachekv-cli is a small interactive shell over the public API, for
+// poking at a CacheKV instance by hand: puts, gets, deletes, range scans,
+// simulated crashes, and hardware counters.
+//
+//	$ cachekv-cli
+//	cachekv> put greeting hello
+//	OK
+//	cachekv> get greeting
+//	hello
+//	cachekv> crash
+//	power failure simulated; store recovered
+//	cachekv> get greeting
+//	hello
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cachekv"
+)
+
+func main() {
+	db, err := cachekv.Open(cachekv.Options{PMemMB: 1024})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := db.Session(0)
+	fmt.Printf("%s on simulated eADR platform. Type 'help' for commands.\n", db.EngineName())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("cachekv> ")
+		if !sc.Scan() {
+			break
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> [n] | flush | crash | stats | quit")
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			if err := s.Put([]byte(fields[1]), []byte(strings.Join(fields[2:], " "))); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("OK")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, err := s.Get([]byte(fields[1]))
+			if err == cachekv.ErrNotFound {
+				fmt.Println("(not found)")
+			} else if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(string(v))
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			if err := s.Delete([]byte(fields[1])); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("OK")
+		case "scan":
+			if len(fields) < 2 {
+				fmt.Println("usage: scan <start> [limit]")
+				continue
+			}
+			limit := 10
+			if len(fields) > 2 {
+				if n, err := strconv.Atoi(fields[2]); err == nil {
+					limit = n
+				}
+			}
+			n, err := s.Scan([]byte(fields[1]), limit, func(k, v []byte) bool {
+				fmt.Printf("  %s = %s\n", k, v)
+				return true
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("(%d entries)\n", n)
+		case "flush":
+			if err := db.Flush(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("flushed to storage component")
+		case "crash":
+			db2, err := db.SimulateCrash()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			db = db2
+			s = db.Session(0)
+			fmt.Println("power failure simulated; store recovered")
+		case "stats":
+			m := db.Metrics()
+			fmt.Printf("write hit ratio: %.1f%%  amplification: %.2fx  media written: %d KiB\n",
+				m.WriteHitRatio*100, m.WriteAmplification, m.MediaWriteBytes>>10)
+			fmt.Printf("session virtual time: %.3f ms\n", float64(s.VirtualNanos())/1e6)
+		case "quit", "exit":
+			db.Close()
+			return
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+		}
+	}
+	db.Close()
+}

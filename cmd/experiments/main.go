@@ -1,0 +1,152 @@
+// Command experiments regenerates the paper's evaluation figures (Figures 4,
+// 5, 10-16) on the simulated platform. Each figure prints as an aligned text
+// table with the same rows/series the paper plots.
+//
+// Usage:
+//
+//	experiments -fig all              # every figure at the default scale
+//	experiments -fig 10 -ops 1000000  # one figure at a custom op count
+//	experiments -list                 # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachekv/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4,5,10,11,12,13,14,15,16, wa, recovery, or 'all'")
+	ops := flag.Int64("ops", 0, "ops per measured phase (default 200000; paper used 10M)")
+	ycsbOps := flag.Int64("ycsb-ops", 0, "ops per YCSB phase (default 100000; paper used 5M)")
+	outPath := flag.String("o", "", "also append results to this file")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	var out *os.File
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *list {
+		fmt.Println("4   Ob1: XPBuffer write hit ratio of the baselines")
+		fmt.Println("5   Ob2: baseline thread scaling + NoveLSM-cache latency breakdown")
+		fmt.Println("10  Exp#1: sequential/random write throughput, all systems")
+		fmt.Println("11  Exp#2: sequential/random read throughput, all systems")
+		fmt.Println("12  Exp#3: multi-thread random read/write throughput")
+		fmt.Println("13  Exp#4: YCSB Load/A/B/C/D/F")
+		fmt.Println("14  Exp#5: CacheKV vs background flush threads")
+		fmt.Println("15  Exp#6: CacheKV vs sub-MemTable size")
+		fmt.Println("16  Exp#7: CacheKV vs pool size")
+		fmt.Println("wa        extension: PMem write amplification of every system")
+		fmt.Println("recovery  extension: CacheKV crash-recovery time")
+		return
+	}
+
+	scale := bench.Scale{Ops: *ops, YCSBOps: *ycsbOps}
+	wanted := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		wanted[strings.TrimSpace(f)] = true
+	}
+	all := wanted["all"]
+
+	emit := func(tables ...*bench.Table) {
+		for _, t := range tables {
+			fmt.Println(t)
+			if out != nil {
+				fmt.Fprintln(out, t)
+			}
+		}
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if all || wanted["4"] {
+		t, err := bench.Fig4(scale)
+		if err != nil {
+			fail("fig4", err)
+		}
+		emit(t)
+	}
+	if all || wanted["5"] {
+		a, b, err := bench.Fig5(scale)
+		if err != nil {
+			fail("fig5", err)
+		}
+		emit(a, b)
+	}
+	if all || wanted["10"] {
+		a, b, err := bench.Fig10(scale)
+		if err != nil {
+			fail("fig10", err)
+		}
+		emit(a, b)
+	}
+	if all || wanted["11"] {
+		a, b, err := bench.Fig11(scale)
+		if err != nil {
+			fail("fig11", err)
+		}
+		emit(a, b)
+	}
+	if all || wanted["12"] {
+		a, b, err := bench.Fig12(scale)
+		if err != nil {
+			fail("fig12", err)
+		}
+		emit(a, b)
+	}
+	if all || wanted["13"] {
+		t, err := bench.Fig13(scale)
+		if err != nil {
+			fail("fig13", err)
+		}
+		emit(t)
+	}
+	if all || wanted["14"] {
+		t, err := bench.Fig14(scale)
+		if err != nil {
+			fail("fig14", err)
+		}
+		emit(t)
+	}
+	if all || wanted["15"] {
+		t, err := bench.Fig15(scale)
+		if err != nil {
+			fail("fig15", err)
+		}
+		emit(t)
+	}
+	if all || wanted["16"] {
+		t, err := bench.Fig16(scale)
+		if err != nil {
+			fail("fig16", err)
+		}
+		emit(t)
+	}
+	if all || wanted["wa"] {
+		t, err := bench.WriteAmp(scale)
+		if err != nil {
+			fail("writeamp", err)
+		}
+		emit(t)
+	}
+	if all || wanted["recovery"] {
+		t, err := bench.Recovery(scale)
+		if err != nil {
+			fail("recovery", err)
+		}
+		emit(t)
+	}
+}

@@ -1,0 +1,73 @@
+// Command ycsb runs the YCSB core workloads (Load, A, B, C, D, F — the set
+// of the paper's Exp#4) against any engine on the simulated platform.
+//
+// Usage:
+//
+//	ycsb -engine cachekv -workloads load,a,b,c,d,f -records 1000000 -ops 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachekv/internal/bench"
+)
+
+func main() {
+	engine := flag.String("engine", "cachekv", "engine name (see cachekv-bench -h)")
+	workloads := flag.String("workloads", "load,a,b,c,d,f", "comma-separated YCSB workloads")
+	records := flag.Int64("records", 100000, "records loaded before each workload")
+	ops := flag.Int64("ops", 100000, "operations per workload")
+	threads := flag.Int("threads", 1, "user threads")
+	valueSize := flag.Int("value-size", 64, "value size (paper uses 64 B)")
+	flag.Parse()
+
+	kind, ok := map[string]bench.EngineKind{
+		"cachekv":           bench.CacheKV,
+		"pcsm":              bench.PCSM,
+		"pcsm+liu":          bench.PCSMLIU,
+		"novelsm":           bench.NoveLSM,
+		"novelsm-w/o-flush": bench.NoveLSMWoFlush,
+		"novelsm-cache":     bench.NoveLSMCache,
+		"slm-db":            bench.SLMDB,
+		"slm-db-w/o-flush":  bench.SLMDBWoFlush,
+		"slm-db-cache":      bench.SLMDBCache,
+	}[strings.ToLower(*engine)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+	specs := map[string]bench.YCSBSpec{
+		"load": bench.YCSBLoad, "a": bench.YCSBA, "b": bench.YCSBB,
+		"c": bench.YCSBC, "d": bench.YCSBD, "f": bench.YCSBF,
+	}
+
+	for _, name := range strings.Split(*workloads, ",") {
+		spec, ok := specs[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+			os.Exit(1)
+		}
+		// Fresh platform per workload, as YCSB runs each against a clean DB.
+		cfg := bench.DefaultEngineConfig()
+		cfg.DataBytes = uint64(*records*2) * uint64(*valueSize+40)
+		m := cfg.NewMachine()
+		th := m.NewThread(0)
+		db, err := cfg.Open(kind, m, th)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := bench.NewRunner(m, db)
+		res, err := bench.RunYCSB(r, spec, *records, *ops, *threads, *valueSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ycsb-%s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("YCSB-%-4s [%s] : %10.1f Kops/s  (%d ops, %d threads)\n",
+			spec.Name, res.Engine, res.KopsPerSec, res.Ops, res.Threads)
+		db.Close(th)
+	}
+}

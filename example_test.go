@@ -1,0 +1,59 @@
+package cachekv_test
+
+import (
+	"fmt"
+	"log"
+
+	"cachekv"
+)
+
+// Example demonstrates the core workflow: open a store on the simulated
+// eADR platform, write through a session, survive a power failure, and read
+// the data back from the recovered store.
+func Example() {
+	db, err := cachekv.Open(cachekv.Options{PMemMB: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.Session(0)
+	if err := s.Put([]byte("answer"), []byte("42")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Power failure: the persistent CPU caches preserve the committed write.
+	recovered, err := db.SimulateCrash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recovered.Close()
+
+	v, err := recovered.Session(0).Get([]byte("answer"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answer = %s\n", v)
+	// Output: answer = 42
+}
+
+// ExampleSession_Apply shows an atomic multi-key batch: both writes become
+// durable together with a single header CAS.
+func ExampleSession_Apply() {
+	db, err := cachekv.Open(cachekv.Options{PMemMB: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+
+	var b cachekv.Batch
+	b.Put([]byte("from"), []byte("-10"))
+	b.Put([]byte("to"), []byte("+10"))
+	if err := s.Apply(&b); err != nil {
+		log.Fatal(err)
+	}
+
+	from, _ := s.Get([]byte("from"))
+	to, _ := s.Get([]byte("to"))
+	fmt.Printf("%s %s\n", from, to)
+	// Output: -10 +10
+}

@@ -1,0 +1,3 @@
+module cachekv
+
+go 1.22

@@ -1,0 +1,66 @@
+// Package arena provides bump allocators over PMem regions. Persistent
+// structures (the sub-MemTable pool's ImmZone, NoveLSM's PMem memtable log,
+// SLM-DB's persistent buffer) carve their space out of a region sequentially
+// and reclaim it wholesale, which is exactly the allocation pattern
+// log-structured stores exhibit.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cachekv/internal/hw"
+)
+
+// PArena hands out addresses from a PMem region, append-only, until Reset.
+type PArena struct {
+	region hw.Region
+	next   atomic.Uint64
+}
+
+// NewPArena wraps region in a fresh allocator.
+func NewPArena(region hw.Region) *PArena {
+	a := &PArena{region: region}
+	a.next.Store(region.Addr)
+	return a
+}
+
+// Region returns the underlying region.
+func (a *PArena) Region() hw.Region { return a.region }
+
+// Alloc reserves n bytes aligned to align (power of two; 0 means 8) and
+// returns the starting address. It returns an error when the region is
+// exhausted — callers treat that as "time to flush".
+func (a *PArena) Alloc(n uint64, align uint64) (uint64, error) {
+	if align == 0 {
+		align = 8
+	}
+	for {
+		cur := a.next.Load()
+		addr := (cur + align - 1) &^ (align - 1)
+		end := addr + n
+		if end > a.region.End() {
+			return 0, fmt.Errorf("arena: region %q exhausted (%d of %d bytes used)",
+				a.region.Name, cur-a.region.Addr, a.region.Size)
+		}
+		if a.next.CompareAndSwap(cur, end) {
+			return addr, nil
+		}
+	}
+}
+
+// Used returns the number of bytes allocated so far.
+func (a *PArena) Used() uint64 { return a.next.Load() - a.region.Addr }
+
+// Reset reclaims the whole region (wholesale, like truncating a log).
+func (a *PArena) Reset() { a.next.Store(a.region.Addr) }
+
+// Restore positions the allocation cursor at addr, which must lie within the
+// region. Crash recovery uses it after re-discovering how much of the region
+// held live data.
+func (a *PArena) Restore(addr uint64) {
+	if addr < a.region.Addr || addr > a.region.End() {
+		panic(fmt.Sprintf("arena: Restore(%#x) outside region %q", addr, a.region.Name))
+	}
+	a.next.Store(addr)
+}

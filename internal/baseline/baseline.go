@@ -1,0 +1,62 @@
+// Package baseline holds the machinery shared by the two comparison systems
+// the paper evaluates against — NoveLSM (ATC'18) and SLM-DB (FAST'19) — and
+// their eADR-adapted variants ("-w/o-flush" and "-cache") that the paper
+// itself constructs in Sections II-C and IV-A.
+package baseline
+
+import (
+	"fmt"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/cache"
+)
+
+// Variant selects the flush discipline of a baseline engine.
+type Variant int
+
+// The three variants of each baseline.
+const (
+	// Vanilla uses store + clflush/clwb, the ADR-era discipline both systems
+	// shipped with.
+	Vanilla Variant = iota
+	// WithoutFlush drops the flush instructions, as one would naively do on
+	// an eADR platform ("NoveLSM-w/o-flush", "SLM-DB-w/o-flush").
+	WithoutFlush
+	// CacheSegments pins memtable segments in the LLC via CAT and flushes
+	// each segment wholesale when it fills ("NoveLSM-cache", "SLM-DB-cache").
+	CacheSegments
+)
+
+// Suffix returns the variant's display suffix ("" / "-w/o-flush" / "-cache").
+func (v Variant) Suffix() string {
+	switch v {
+	case WithoutFlush:
+		return "-w/o-flush"
+	case CacheSegments:
+		return "-cache"
+	default:
+		return ""
+	}
+}
+
+// ReservePartition pins segBytes of LLC for a -cache variant and returns the
+// partition (DefaultPartition for the other variants).
+func ReservePartition(m *hw.Machine, v Variant, segBytes uint64) (cache.PartitionID, error) {
+	if v != CacheSegments {
+		return cache.DefaultPartition, nil
+	}
+	part, err := m.Cache.Reserve(int(segBytes))
+	if err != nil {
+		return 0, fmt.Errorf("baseline: pinning cache segment: %w", err)
+	}
+	return part, nil
+}
+
+// LookupOrAlloc finds a named region or allocates it, so reopening a machine
+// after a crash reuses the same memory map.
+func LookupOrAlloc(m *hw.Machine, name string, size uint64) hw.Region {
+	if r, ok := m.LookupRegion(name); ok {
+		return r
+	}
+	return m.Alloc(name, size, 4096)
+}

@@ -1,0 +1,47 @@
+package baseline
+
+import (
+	"testing"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/cache"
+)
+
+func TestVariantSuffixes(t *testing.T) {
+	if Vanilla.Suffix() != "" || WithoutFlush.Suffix() != "-w/o-flush" || CacheSegments.Suffix() != "-cache" {
+		t.Fatal("variant suffixes wrong")
+	}
+}
+
+func TestReservePartition(t *testing.T) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	// Non-cache variants use the shared partition and reserve nothing.
+	p, err := ReservePartition(m, Vanilla, 12<<20)
+	if err != nil || p != cache.DefaultPartition {
+		t.Fatalf("Vanilla: %v, %v", p, err)
+	}
+	p, err = ReservePartition(m, CacheSegments, 12<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == cache.DefaultPartition {
+		t.Fatal("cache variant did not pin a partition")
+	}
+	// Impossible reservations fail cleanly.
+	if _, err := ReservePartition(m, CacheSegments, 1<<30); err == nil {
+		t.Fatal("oversized reservation accepted")
+	}
+}
+
+func TestLookupOrAlloc(t *testing.T) {
+	m := hw.NewMachine(hw.Config{PMemBytes: 64 << 20})
+	a := LookupOrAlloc(m, "region-x", 1<<20)
+	b := LookupOrAlloc(m, "region-x", 1<<20)
+	if a != b {
+		t.Fatal("second lookup allocated a fresh region")
+	}
+	c := LookupOrAlloc(m, "region-y", 1<<20)
+	if c == a {
+		t.Fatal("distinct names shared a region")
+	}
+}

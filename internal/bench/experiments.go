@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"fmt"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/kvstore"
+)
+
+// Scale controls how large the experiments run. The paper uses 10 M ops per
+// test (5 M for YCSB) on a physical testbed; the defaults here are scaled so
+// the whole suite regenerates in minutes, and every experiment accepts the
+// full counts via cmd/experiments flags.
+type Scale struct {
+	Ops     int64 // ops per measured phase (paper: 10,000,000)
+	YCSBOps int64 // ops per YCSB phase (paper: 5,000,000)
+}
+
+// DefaultScale is the CI-friendly configuration.
+func DefaultScale() Scale { return Scale{Ops: 200_000, YCSBOps: 100_000} }
+
+func (s Scale) withDefaults() Scale {
+	d := DefaultScale()
+	if s.Ops == 0 {
+		s.Ops = d.Ops
+	}
+	if s.YCSBOps == 0 {
+		s.YCSBOps = d.YCSBOps
+	}
+	return s
+}
+
+// dataBytes estimates the working set of ops operations at valueSize.
+func dataBytes(ops int64, valueSize int) uint64 {
+	return uint64(ops) * uint64(valueSize+40) // key 16B + headers/padding
+}
+
+// openRunner builds a fresh machine + engine + runner for one cell.
+func openRunner(cfg EngineConfig, kind EngineKind) (*Runner, *hw.Thread, error) {
+	m := cfg.NewMachine()
+	th := m.NewThread(0)
+	db, err := cfg.Open(kind, m, th)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", kind, err)
+	}
+	return NewRunner(m, db), th, nil
+}
+
+// closeRunner shuts the cell's engine down.
+func closeRunner(r *Runner, th *hw.Thread) { _ = r.DB.Close(th) }
+
+// fillRandom loads ops uniform-random records of the given value size.
+func fillRandom(r *Runner, ops int64, threads, valueSize int) (Result, error) {
+	return r.Run(Workload{
+		Name:      "fillrandom",
+		Keys:      UniformKeys{N: ops},
+		ValueSize: valueSize,
+		Ops:       ops,
+		Threads:   threads,
+		Mix:       WriteOnly,
+		Seed:      7,
+	})
+}
+
+// Fig4 reproduces Observation 1: the XPBuffer write hit ratio of the six
+// baseline systems under random 1-thread writes, value sizes 32-256 B.
+// Removing the flush instructions should collapse the ratio; the -cache
+// variants should nearly restore it.
+func Fig4(s Scale) (*Table, error) {
+	s = s.withDefaults()
+	sizes := []int{32, 64, 128, 256}
+	t := &Table{
+		Title:   "Figure 4 - Ob1: XPBuffer write hit ratio (random writes, 1 thread)",
+		Note:    fmt.Sprintf("%d ops per cell; higher is better", s.Ops),
+		Headers: append([]string{"system"}, "32B", "64B", "128B", "256B"),
+	}
+	for _, kind := range BaselineEngines {
+		row := []string{kind.String()}
+		for _, vs := range sizes {
+			cfg := DefaultEngineConfig()
+			cfg.DataBytes = dataBytes(s.Ops, vs)
+			r, th, err := openRunner(cfg, kind)
+			if err != nil {
+				return nil, err
+			}
+			// Warm the cache past capacity with the first half of the ops so
+			// the measured window sees steady-state eviction traffic, the
+			// regime ipmwatch observes during the paper's 10M-op runs.
+			if _, err := fillRandom(r, s.Ops/2, 1, vs); err != nil {
+				closeRunner(r, th)
+				return nil, fmt.Errorf("fig4 warmup %s/%dB: %w", kind, vs, err)
+			}
+			res, err := r.Run(Workload{
+				Name: "measure", Keys: UniformKeys{N: s.Ops}, ValueSize: vs,
+				Ops: s.Ops / 2, Threads: 1, Mix: WriteOnly, Seed: 17,
+			})
+			if err != nil {
+				closeRunner(r, th)
+				return nil, fmt.Errorf("fig4 %s/%dB: %w", kind, vs, err)
+			}
+			row = append(row, fmtRatio(res.WriteHitRatio()))
+			closeRunner(r, th)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Observation 2: (a) baseline write throughput versus user
+// threads, which degrades under the shared-MemTable lock; (b) the write
+// latency breakdown of NoveLSM-cache at 2 and 8 threads, where index update
+// and lock dominate.
+func Fig5(s Scale) (*Table, *Table, error) {
+	s = s.withDefaults()
+	threads := []int{1, 2, 4, 8}
+	ta := &Table{
+		Title:   "Figure 5(a) - Ob2: write throughput vs user threads (Kops/s, 64B values)",
+		Note:    fmt.Sprintf("%d ops per cell", s.Ops),
+		Headers: []string{"system", "1", "2", "4", "8"},
+	}
+	var breakdowns [2]hw.Breakdown // NoveLSM-cache at 2 and 8 threads
+	for _, kind := range BaselineEngines {
+		row := []string{kind.String()}
+		for _, th := range threads {
+			cfg := DefaultEngineConfig()
+			cfg.DataBytes = dataBytes(s.Ops, 64)
+			r, tth, err := openRunner(cfg, kind)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := fillRandom(r, s.Ops, th, 64)
+			if err != nil {
+				closeRunner(r, tth)
+				return nil, nil, fmt.Errorf("fig5 %s/%dT: %w", kind, th, err)
+			}
+			row = append(row, fmtKops(res.KopsPerSec))
+			if kind == NoveLSMCache {
+				if th == 2 {
+					breakdowns[0] = res.Breakdown
+				}
+				if th == 8 {
+					breakdowns[1] = res.Breakdown
+				}
+			}
+			closeRunner(r, tth)
+		}
+		ta.AddRow(row...)
+	}
+	tb := &Table{
+		Title:   "Figure 5(b) - Ob2: NoveLSM-cache write latency breakdown",
+		Headers: []string{"threads", "index", "lock", "append", "flush", "wal", "others"},
+	}
+	for i, th := range []int{2, 8} {
+		b := breakdowns[i]
+		tb.AddRow(
+			fmt.Sprintf("%d", th),
+			fmtRatio(b.Fraction(hw.PhaseIndex)),
+			fmtRatio(b.Fraction(hw.PhaseLock)),
+			fmtRatio(b.Fraction(hw.PhaseAppend)),
+			fmtRatio(b.Fraction(hw.PhaseFlushInstr)),
+			fmtRatio(b.Fraction(hw.PhaseWAL)),
+			fmtRatio(b.Fraction(hw.PhaseOther)),
+		)
+	}
+	return ta, tb, nil
+}
+
+// Fig10 reproduces Exp#1: sequential and random write throughput across all
+// nine systems at value sizes 16-256 B, single thread.
+func Fig10(s Scale) (*Table, *Table, error) {
+	s = s.withDefaults()
+	sizes := []int{16, 64, 128, 256}
+	mk := func(title string, keys func() KeyGen) (*Table, error) {
+		t := &Table{
+			Title:   title,
+			Note:    fmt.Sprintf("%d ops per cell, 1 thread (Kops/s)", s.Ops),
+			Headers: []string{"system", "16B", "64B", "128B", "256B"},
+		}
+		for _, kind := range AllEngines {
+			row := []string{kind.String()}
+			for _, vs := range sizes {
+				cfg := DefaultEngineConfig()
+				cfg.DataBytes = dataBytes(s.Ops, vs)
+				r, th, err := openRunner(cfg, kind)
+				if err != nil {
+					return nil, err
+				}
+				res, err := r.Run(Workload{
+					Name: "fill", Keys: keys(), ValueSize: vs,
+					Ops: s.Ops, Threads: 1, Mix: WriteOnly, Seed: 11,
+				})
+				if err != nil {
+					closeRunner(r, th)
+					return nil, fmt.Errorf("%s/%dB: %w", kind, vs, err)
+				}
+				row = append(row, fmtKops(res.KopsPerSec))
+				closeRunner(r, th)
+			}
+			t.AddRow(row...)
+		}
+		return t, nil
+	}
+	seq, err := mk("Figure 10(a) - Exp#1: sequential write throughput", func() KeyGen { return SequentialKeys{} })
+	if err != nil {
+		return nil, nil, err
+	}
+	rnd, err := mk("Figure 10(b) - Exp#1: random write throughput", func() KeyGen { return UniformKeys{N: s.Ops} })
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, rnd, nil
+}
+
+// Fig11 reproduces Exp#2: sequential and random read throughput after a
+// matching fill, single thread.
+func Fig11(s Scale) (*Table, *Table, error) {
+	s = s.withDefaults()
+	sizes := []int{16, 64, 128, 256}
+	mk := func(title string, fillKeys, readKeys func() KeyGen) (*Table, error) {
+		t := &Table{
+			Title:   title,
+			Note:    fmt.Sprintf("%d reads per cell after an equal fill, 1 thread (Kops/s)", s.Ops),
+			Headers: []string{"system", "16B", "64B", "128B", "256B"},
+		}
+		for _, kind := range AllEngines {
+			row := []string{kind.String()}
+			for _, vs := range sizes {
+				cfg := DefaultEngineConfig()
+				cfg.DataBytes = dataBytes(s.Ops, vs)
+				r, th, err := openRunner(cfg, kind)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := r.Run(Workload{
+					Name: "fill", Keys: fillKeys(), ValueSize: vs,
+					Ops: s.Ops, Threads: 1, Mix: WriteOnly, Seed: 11,
+				}); err != nil {
+					closeRunner(r, th)
+					return nil, fmt.Errorf("fill %s/%dB: %w", kind, vs, err)
+				}
+				res, err := r.Run(Workload{
+					Name: "read", Keys: readKeys(), ValueSize: vs,
+					Ops: s.Ops, Threads: 1, Mix: ReadOnly, Seed: 13,
+				})
+				if err != nil {
+					closeRunner(r, th)
+					return nil, fmt.Errorf("read %s/%dB: %w", kind, vs, err)
+				}
+				row = append(row, fmtKops(res.KopsPerSec))
+				closeRunner(r, th)
+			}
+			t.AddRow(row...)
+		}
+		return t, nil
+	}
+	seq, err := mk("Figure 11(a) - Exp#2: sequential read throughput",
+		func() KeyGen { return SequentialKeys{} }, func() KeyGen { return SequentialKeys{} })
+	if err != nil {
+		return nil, nil, err
+	}
+	rnd, err := mk("Figure 11(b) - Exp#2: random read throughput",
+		func() KeyGen { return UniformKeys{N: s.Ops} }, func() KeyGen { return UniformKeys{N: s.Ops} })
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, rnd, nil
+}
+
+// Fig12 reproduces Exp#3: random read and write throughput at 4-24 user
+// threads (64 B values).
+func Fig12(s Scale) (*Table, *Table, error) {
+	s = s.withDefaults()
+	threads := []int{4, 8, 16, 24}
+	cfg := DefaultEngineConfig()
+	cfg.DataBytes = dataBytes(s.Ops, 64)
+	systems := []EngineKind{NoveLSM, NoveLSMCache, SLMDB, SLMDBCache, CacheKV}
+
+	reads := &Table{
+		Title:   "Figure 12(a) - Exp#3: random read throughput vs user threads (Kops/s)",
+		Note:    fmt.Sprintf("%d ops per cell, 64B values", s.Ops),
+		Headers: []string{"system", "4", "8", "16", "24"},
+	}
+	writes := &Table{
+		Title:   "Figure 12(b) - Exp#3: random write throughput vs user threads (Kops/s)",
+		Note:    fmt.Sprintf("%d ops per cell, 64B values", s.Ops),
+		Headers: []string{"system", "4", "8", "16", "24"},
+	}
+	for _, kind := range systems {
+		rrow := []string{kind.String()}
+		wrow := []string{kind.String()}
+		for _, nt := range threads {
+			r, th, err := openRunner(cfg, kind)
+			if err != nil {
+				return nil, nil, err
+			}
+			wres, err := fillRandom(r, s.Ops, nt, 64)
+			if err != nil {
+				closeRunner(r, th)
+				return nil, nil, fmt.Errorf("fig12 write %s/%dT: %w", kind, nt, err)
+			}
+			rres, err := r.Run(Workload{
+				Name: "readrandom", Keys: UniformKeys{N: s.Ops}, ValueSize: 64,
+				Ops: s.Ops, Threads: nt, Mix: ReadOnly, Seed: 13,
+			})
+			if err != nil {
+				closeRunner(r, th)
+				return nil, nil, fmt.Errorf("fig12 read %s/%dT: %w", kind, nt, err)
+			}
+			wrow = append(wrow, fmtKops(wres.KopsPerSec))
+			rrow = append(rrow, fmtKops(rres.KopsPerSec))
+			closeRunner(r, th)
+		}
+		reads.AddRow(rrow...)
+		writes.AddRow(wrow...)
+	}
+	return reads, writes, nil
+}
+
+// Fig13 reproduces Exp#4: the six YCSB workloads at a single user thread.
+func Fig13(s Scale) (*Table, error) {
+	s = s.withDefaults()
+	cfg := DefaultEngineConfig()
+	cfg.DataBytes = dataBytes(s.YCSBOps*2, 64)
+	systems := []EngineKind{NoveLSM, NoveLSMCache, SLMDB, SLMDBCache, CacheKV}
+	t := &Table{
+		Title:   "Figure 13 - Exp#4: YCSB throughput (Kops/s, 1 thread, 16B keys / 64B values)",
+		Note:    fmt.Sprintf("%d records loaded, %d ops per workload", s.YCSBOps, s.YCSBOps),
+		Headers: []string{"system", "Load", "A", "B", "C", "D", "F"},
+	}
+	for _, kind := range systems {
+		row := []string{kind.String()}
+		for _, spec := range YCSBAll {
+			r, th, err := openRunner(cfg, kind)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunYCSB(r, spec, s.YCSBOps, s.YCSBOps, 1, 64)
+			if err != nil {
+				closeRunner(r, th)
+				return nil, fmt.Errorf("fig13 %s/%s: %w", kind, spec.Name, err)
+			}
+			row = append(row, fmtKops(res.KopsPerSec))
+			closeRunner(r, th)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// sanity check that all engines satisfy the DB interface uniformly.
+var _ = []kvstore.DB(nil)

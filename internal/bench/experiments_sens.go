@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// medianOf runs fn trials times and returns the per-metric medians; the
+// virtual pipeline's interaction with real goroutine scheduling introduces
+// run-to-run variance that a median damps.
+func medianOf(trials int, fn func() ([]float64, error)) ([]float64, error) {
+	var runs [][]float64
+	for i := 0; i < trials; i++ {
+		v, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, v)
+	}
+	out := make([]float64, len(runs[0]))
+	for m := range out {
+		vals := make([]float64, 0, trials)
+		for _, r := range runs {
+			vals = append(vals, r[m])
+		}
+		sort.Float64s(vals)
+		out[m] = vals[len(vals)/2]
+	}
+	return out, nil
+}
+
+// Fig14 reproduces Exp#5: CacheKV write throughput as background flush
+// threads vary from 1 to 6, for several user-thread counts. Throughput should
+// climb then saturate once user threads become the bottleneck.
+func Fig14(s Scale) (*Table, error) {
+	s = s.withDefaults()
+	flushThreads := []int{1, 2, 4, 6}
+	userThreads := []int{2, 4, 6}
+	t := &Table{
+		Title:   "Figure 14 - Exp#5: CacheKV write throughput vs background flush threads (Kops/s)",
+		Note:    fmt.Sprintf("%d random 64B writes per cell", s.Ops),
+		Headers: []string{"user-threads", "1-flush", "2-flush", "4-flush", "6-flush"},
+	}
+	for _, ut := range userThreads {
+		row := []string{fmt.Sprintf("%d", ut)}
+		for _, ft := range flushThreads {
+			vals, err := medianOf(3, func() ([]float64, error) {
+				cfg := DefaultEngineConfig()
+				cfg.FlushThreads = ft
+				cfg.DataBytes = dataBytes(s.Ops, 64)
+				r, th, err := openRunner(cfg, CacheKV)
+				if err != nil {
+					return nil, err
+				}
+				defer closeRunner(r, th)
+				res, err := fillRandom(r, s.Ops, ut, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fig14 %dU/%dF: %w", ut, ft, err)
+				}
+				return []float64{res.KopsPerSec}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtKops(vals[0]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig15 reproduces Exp#6: CacheKV read and write throughput as the
+// sub-MemTable size varies from 0.25 to 2 MiB within a fixed 12 MiB pool
+// (12 user threads, 4 flush threads). Reads should improve with larger
+// tables (fewer sub-skiplists to search); writes should peak at 1 MiB.
+func Fig15(s Scale) (*Table, error) {
+	s = s.withDefaults()
+	// The experiment is only meaningful when the dataset dwarfs the 12 MiB
+	// pool, as the paper's 10M-op runs do.
+	if s.Ops < 400_000 {
+		s.Ops = 400_000
+	}
+	sizes := []uint64{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	t := &Table{
+		Title:   "Figure 15 - Exp#6: CacheKV throughput vs sub-MemTable size (Kops/s)",
+		Note:    fmt.Sprintf("12MB pool, 12 user threads, 4 flush threads, %d ops", s.Ops),
+		Headers: []string{"size", "readrandom", "fillrandom"},
+	}
+	for _, sz := range sizes {
+		sz := sz
+		vals, err := medianOf(3, func() ([]float64, error) {
+			cfg := DefaultEngineConfig()
+			cfg.PoolBytes = 12 << 20
+			cfg.SubMemTableBytes = sz
+			cfg.FlushThreads = 4
+			cfg.DataBytes = dataBytes(s.Ops, 64)
+			r, th, err := openRunner(cfg, CacheKV)
+			if err != nil {
+				return nil, err
+			}
+			defer closeRunner(r, th)
+			wres, err := fillRandom(r, s.Ops, 12, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fig15 write %dKB: %w", sz>>10, err)
+			}
+			rres, err := r.Run(Workload{
+				Name: "readrandom", Keys: UniformKeys{N: s.Ops}, ValueSize: 64,
+				Ops: s.Ops, Threads: 12, Mix: ReadOnly, Seed: 13,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig15 read %dKB: %w", sz>>10, err)
+			}
+			return []float64{rres.KopsPerSec, wres.KopsPerSec}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2fMB", float64(sz)/(1<<20)),
+			fmtKops(vals[0]),
+			fmtKops(vals[1]),
+		)
+	}
+	return t, nil
+}
+
+// Fig16 reproduces Exp#7: CacheKV read and write throughput as the
+// sub-MemTable pool grows from 3 to 30 MiB with 1 MiB tables. Reads should
+// decline (more sub-skiplists to search); writes should rise then flatten
+// once the background flush is the bottleneck.
+func Fig16(s Scale) (*Table, error) {
+	s = s.withDefaults()
+	// The dataset must dwarf even the 30 MiB pool for the sweep to measure
+	// steady-state behaviour rather than a fits-in-pool burst.
+	if s.Ops < 400_000 {
+		s.Ops = 400_000
+	}
+	pools := []uint64{3 << 20, 6 << 20, 12 << 20, 24 << 20, 30 << 20}
+	t := &Table{
+		Title:   "Figure 16 - Exp#7: CacheKV throughput vs sub-MemTable pool size (Kops/s)",
+		Note:    fmt.Sprintf("1MB sub-MemTables, 12 user threads, 4 flush threads, %d ops", s.Ops),
+		Headers: []string{"pool", "readrandom", "fillrandom"},
+	}
+	for _, pb := range pools {
+		pb := pb
+		vals, err := medianOf(2, func() ([]float64, error) {
+			cfg := DefaultEngineConfig()
+			cfg.PoolBytes = pb
+			cfg.SubMemTableBytes = 1 << 20
+			cfg.FlushThreads = 4
+			cfg.DataBytes = dataBytes(s.Ops, 64)
+			r, th, err := openRunner(cfg, CacheKV)
+			if err != nil {
+				return nil, err
+			}
+			defer closeRunner(r, th)
+			wres, err := fillRandom(r, s.Ops, 12, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fig16 write %dMB: %w", pb>>20, err)
+			}
+			rres, err := r.Run(Workload{
+				Name: "readrandom", Keys: UniformKeys{N: s.Ops}, ValueSize: 64,
+				Ops: s.Ops, Threads: 12, Mix: ReadOnly, Seed: 13,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig16 read %dMB: %w", pb>>20, err)
+			}
+			return []float64{rres.KopsPerSec, wres.KopsPerSec}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%dMB", pb>>20),
+			fmtKops(vals[0]),
+			fmtKops(vals[1]),
+		)
+	}
+	return t, nil
+}

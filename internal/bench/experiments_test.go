@@ -1,0 +1,56 @@
+package bench
+
+import "testing"
+
+// TestExperimentsTinyScale exercises every figure function end-to-end at a
+// minimal scale; this is a harness smoke test, not a reproduction run.
+func TestExperimentsTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness smoke test is slow")
+	}
+	tiny := Scale{Ops: 4000, YCSBOps: 3000}
+	if tab, err := Fig4(tiny); err != nil || len(tab.Rows) != 6 {
+		t.Fatalf("Fig4: %v rows=%d", err, len(tab.Rows))
+	}
+	a, b, err := Fig5(tiny)
+	if err != nil || len(a.Rows) != 6 || len(b.Rows) != 2 {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if _, rnd, err := Fig10(tiny); err != nil || len(rnd.Rows) != 9 {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if _, rnd, err := Fig11(tiny); err != nil || len(rnd.Rows) != 9 {
+		t.Fatalf("Fig11: %v", err)
+	}
+	if r, w, err := Fig12(tiny); err != nil || len(r.Rows) != 5 || len(w.Rows) != 5 {
+		t.Fatalf("Fig12: %v", err)
+	}
+	if tab, err := Fig13(tiny); err != nil || len(tab.Rows) != 5 {
+		t.Fatalf("Fig13: %v", err)
+	}
+	if tab, err := Fig14(tiny); err != nil || len(tab.Rows) != 3 {
+		t.Fatalf("Fig14: %v", err)
+	}
+	// Fig15/Fig16 enforce large minimum op counts by design; they are
+	// covered by bench_test.go's figure benches and cmd/experiments.
+}
+
+// TestExtensionsTinyScale smoke-tests the two extension experiments.
+func TestExtensionsTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension harness smoke test is slow")
+	}
+	tiny := Scale{Ops: 6000, YCSBOps: 3000}
+	if tab, err := WriteAmp(tiny); err != nil || len(tab.Rows) != 9 {
+		t.Fatalf("WriteAmp: %v", err)
+	}
+	tab, err := Recovery(Scale{Ops: 6000})
+	if err != nil || len(tab.Rows) != 3 {
+		t.Fatalf("Recovery: %v", err)
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "200/200" {
+			t.Fatalf("recovery lost data: %v", row)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package block implements the SSTable block format: prefix-compressed
+// entries with restart points every 16 keys, terminated by the restart array
+// and its count, exactly as in LevelDB. Data blocks, index blocks and meta
+// blocks all share this encoding.
+package block
+
+import (
+	"bytes"
+
+	"cachekv/internal/util"
+)
+
+const restartInterval = 16
+
+// Builder assembles one block. Keys must be added in ascending order.
+type Builder struct {
+	buf      []byte
+	restarts []uint32
+	counter  int
+	lastKey  []byte
+	entries  int
+}
+
+// NewBuilder returns an empty block builder.
+func NewBuilder() *Builder {
+	return &Builder{restarts: []uint32{0}}
+}
+
+// Add appends key/value. Keys must arrive in strictly ascending order; the
+// builder prefix-compresses against the previous key within a restart run.
+func (b *Builder) Add(key, value []byte) {
+	shared := 0
+	if b.counter < restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+		b.counter = 0
+	}
+	b.buf = util.PutUvarint(b.buf, uint64(shared))
+	b.buf = util.PutUvarint(b.buf, uint64(len(key)-shared))
+	b.buf = util.PutUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+	b.entries++
+}
+
+// Empty reports whether nothing has been added.
+func (b *Builder) Empty() bool { return b.entries == 0 }
+
+// EstimatedSize returns the finished block size so far.
+func (b *Builder) EstimatedSize() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+// Finish appends the restart array and returns the completed block contents.
+// The builder must be Reset before reuse.
+func (b *Builder) Finish() []byte {
+	for _, r := range b.restarts {
+		b.buf = util.PutFixed32(b.buf, r)
+	}
+	b.buf = util.PutFixed32(b.buf, uint32(len(b.restarts)))
+	return b.buf
+}
+
+// Reset clears the builder for a new block.
+func (b *Builder) Reset() {
+	b.buf = b.buf[:0]
+	b.restarts = append(b.restarts[:0], 0)
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+	b.entries = 0
+}
+
+// Iter iterates over a finished block's entries.
+type Iter struct {
+	data     []byte // entry area only
+	restarts []uint32
+	off      int // offset of current entry within data
+	nextOff  int
+	key      []byte
+	value    []byte
+	valid    bool
+	err      error
+}
+
+// NewIter parses contents (a finished block) and returns an unpositioned
+// iterator.
+func NewIter(contents []byte) (*Iter, error) {
+	if len(contents) < 4 {
+		return nil, util.ErrCorrupt
+	}
+	n := int(util.Fixed32(contents[len(contents)-4:]))
+	restartsEnd := len(contents) - 4
+	restartsStart := restartsEnd - 4*n
+	if n < 1 || restartsStart < 0 {
+		return nil, util.ErrCorrupt
+	}
+	restarts := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		restarts[i] = util.Fixed32(contents[restartsStart+4*i:])
+	}
+	return &Iter{data: contents[:restartsStart], restarts: restarts}, nil
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return it.valid && it.err == nil }
+
+// Err returns any corruption encountered while iterating.
+func (it *Iter) Err() error { return it.err }
+
+// Key returns the current full key.
+func (it *Iter) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.value }
+
+// SeekToFirst positions at the first entry.
+func (it *Iter) SeekToFirst() {
+	it.key = it.key[:0]
+	it.nextOff = 0
+	it.Next()
+}
+
+// Next advances to the following entry.
+func (it *Iter) Next() {
+	if it.nextOff >= len(it.data) {
+		it.valid = false
+		return
+	}
+	it.off = it.nextOff
+	if !it.decodeAt(it.nextOff) {
+		it.valid = false
+		return
+	}
+	it.valid = true
+}
+
+// decodeAt parses the entry at off, updating key/value/nextOff. The key is
+// reconstructed using the current it.key prefix, so callers must walk
+// entries in order from a restart point.
+func (it *Iter) decodeAt(off int) bool {
+	p := it.data[off:]
+	shared, n1, err := util.Uvarint(p)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	unshared, n2, err := util.Uvarint(p[n1:])
+	if err != nil {
+		it.err = err
+		return false
+	}
+	vlen, n3, err := util.Uvarint(p[n1+n2:])
+	if err != nil {
+		it.err = err
+		return false
+	}
+	h := n1 + n2 + n3
+	if uint64(len(p)-h) < unshared+vlen || uint64(len(it.key)) < shared {
+		it.err = util.ErrCorrupt
+		return false
+	}
+	it.key = append(it.key[:shared], p[h:h+int(unshared)]...)
+	it.value = p[h+int(unshared) : h+int(unshared)+int(vlen)]
+	it.nextOff = off + h + int(unshared) + int(vlen)
+	return true
+}
+
+// Seek positions at the first entry with key >= target (by cmp; nil means
+// bytes.Compare). It binary-searches the restart array then scans.
+func (it *Iter) Seek(target []byte, cmp func(a, b []byte) int) {
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	// Find the last restart whose key < target.
+	lo, hi := 0, len(it.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		k, ok := it.keyAtRestart(mid)
+		if !ok {
+			it.valid = false
+			return
+		}
+		if cmp(k, target) < 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	it.key = it.key[:0]
+	it.nextOff = int(it.restarts[lo])
+	for {
+		it.Next()
+		if !it.Valid() {
+			return
+		}
+		if cmp(it.key, target) >= 0 {
+			return
+		}
+	}
+}
+
+// keyAtRestart decodes the full key stored at restart index i (restart
+// entries always have shared == 0).
+func (it *Iter) keyAtRestart(i int) ([]byte, bool) {
+	off := int(it.restarts[i])
+	p := it.data[off:]
+	_, n1, err := util.Uvarint(p) // shared, always 0 at a restart
+	if err != nil {
+		it.err = err
+		return nil, false
+	}
+	unshared, n2, err := util.Uvarint(p[n1:])
+	if err != nil {
+		it.err = err
+		return nil, false
+	}
+	_, n3, err := util.Uvarint(p[n1+n2:])
+	if err != nil {
+		it.err = err
+		return nil, false
+	}
+	h := n1 + n2 + n3
+	if uint64(len(p)-h) < unshared {
+		it.err = util.ErrCorrupt
+		return nil, false
+	}
+	return p[h : h+int(unshared)], true
+}

@@ -1,0 +1,30 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%012d", i*2654435761))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], nil, nil)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%012d", i)), []byte("v"), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get([]byte(fmt.Sprintf("key%012d", i%n)), nil)
+	}
+}

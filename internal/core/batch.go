@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/kvstore"
+	"cachekv/internal/util"
+)
+
+// Batch is a multi-key transaction in the sense of Section III-A's
+// discussion: all of its writes are appended to the *same* sub-MemTable (the
+// transaction thread is bound to one core) and committed by a single CAS on
+// the packed header — so after a crash either every entry of the batch is
+// visible or none is.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key   []byte
+	value []byte
+	kind  util.ValueKind
+}
+
+// Put queues a write into the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+		kind:  util.KindValue,
+	})
+}
+
+// Delete queues a tombstone into the batch.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), kind: util.KindDelete})
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// Apply commits the batch atomically. All entries go to the calling core's
+// sub-MemTable; the commit point is one CAS that bumps the table counter by
+// the batch size and the tail past every entry. A batch larger than a
+// sub-MemTable's capacity is rejected.
+func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
+	if err := e.err(); err != nil {
+		return err
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	// Encode all entries with consecutive sequence numbers.
+	firstSeq := e.seq.Add(uint64(len(b.ops))) - uint64(len(b.ops)) + 1
+	var enc []byte
+	for i, op := range b.ops {
+		ik := util.MakeInternalKey(nil, op.key, firstSeq+uint64(i), op.kind)
+		entry := kvstore.EncodeEntry(nil, ik, op.value)
+		enc = append(enc, entry...)
+		if pad := align8(uint64(len(entry))) - uint64(len(entry)); pad > 0 {
+			enc = append(enc, make([]byte, pad)...)
+		}
+	}
+	need := uint64(len(enc))
+
+	core := th.Core
+	th.ChargeDRAM(1)
+	for {
+		s := e.pool.slotFor(core)
+		if s == nil {
+			th.InPhase(hw.PhaseOther, func() {
+				s = e.pool.acquire(th, core, firstSeq)
+			})
+			if s == nil {
+				if err := e.err(); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if need > s.dataCap() {
+			return fmt.Errorf("cachekv: batch of %d bytes exceeds sub-MemTable capacity %d",
+				need, s.dataCap())
+		}
+		hdr := s.hdr.Load()
+		count, state, tail := unpackHdr(hdr)
+		if state != stateAllocated {
+			e.pool.coreSlot[core].CompareAndSwap(int32(s.idx), -1)
+			continue
+		}
+		if tail+need > s.dataCap() {
+			if sealed := e.pool.sealForCore(th, core); sealed != nil {
+				e.pendingFlushes.Add(1)
+				e.flushCh <- sealed
+			}
+			continue
+		}
+		th.InPhase(hw.PhaseAppend, func() {
+			e.m.Cache.Write(th.Clock, s.dataAddr()+tail, enc, e.poolPart)
+		})
+		// The transaction's commit point: counter += len(ops), tail += need,
+		// in one atomic compare-and-swap.
+		if !e.pool.casHdr(th, s, hdr, packHdr(count+uint64(len(b.ops)), stateAllocated, tail+need)) {
+			continue
+		}
+		if e.opts.LazyIndex {
+			if (count+uint64(len(b.ops)))%uint64(e.opts.SyncThreshold) < uint64(len(b.ops)) {
+				select {
+				case e.syncCh <- syncReq{s: s, at: th.Clock.Now()}:
+				default:
+				}
+			}
+		} else {
+			th.InPhase(hw.PhaseIndex, func() {
+				s.syncMu.Lock()
+				if s.list != nil {
+					off := tail
+					for i, op := range b.ops {
+						ik := util.MakeInternalKey(nil, op.key, firstSeq+uint64(i), op.kind)
+						entry := kvstore.EncodeEntry(nil, ik, op.value)
+						s.list.Insert(ik, util.PutFixed64(nil, off), nil)
+						off += align8(uint64(len(entry)))
+					}
+					s.listCount = count + uint64(len(b.ops))
+					s.listTail = tail + need
+				}
+				s.syncMu.Unlock()
+			})
+		}
+		e.stats.Puts.Add(int64(len(b.ops)))
+		return nil
+	}
+}

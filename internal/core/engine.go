@@ -1,0 +1,585 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cachekv/internal/arena"
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/cache"
+	"cachekv/internal/hw/sim"
+	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
+	"cachekv/internal/pmemfs"
+	"cachekv/internal/util"
+)
+
+// Options configure a CacheKV instance. Zero values take the paper's
+// Section IV-A defaults, noted per field.
+type Options struct {
+	PoolBytes        uint64  // sub-MemTable pool size pinned in the LLC (12 MiB)
+	SubMemTableBytes uint64  // initial sub-MemTable size (2 MiB)
+	FlushThreads     int     // background copy-based flush threads (1)
+	SyncThreshold    int     // writes per sub-MemTable before a lazy sync (64)
+	ImmZoneBytes     uint64  // PMem staging zone for flushed tables (32 MiB)
+	SpillFraction    float64 // ImmZone fill fraction triggering the L0 spill (0.75)
+	Elastic          bool    // enable miss-counter elasticity (on)
+	MissThreshold    int64   // misses before splitting free sub-MemTables (8)
+
+	// Ablation switches: the paper's PCSM / PCSM+LIU / CacheKV breakdown.
+	LazyIndex          bool // false = update the sub-skiplist on every write (PCSM)
+	SkiplistCompaction bool // false = never build the global skiplist (PCSM[+LIU])
+
+	FSBytes       uint64 // PMem file-layer capacity for SSTables (256 MiB)
+	ManifestBytes uint64 // manifest log capacity (4 MiB)
+	LSM           lsm.Options
+}
+
+// DefaultOptions returns the paper's evaluation configuration.
+func DefaultOptions() Options {
+	return Options{
+		PoolBytes:          12 << 20,
+		SubMemTableBytes:   2 << 20,
+		FlushThreads:       1,
+		SyncThreshold:      64,
+		ImmZoneBytes:       32 << 20,
+		SpillFraction:      0.75,
+		Elastic:            true,
+		MissThreshold:      8,
+		LazyIndex:          true,
+		SkiplistCompaction: true,
+		FSBytes:            256 << 20,
+		ManifestBytes:      4 << 20,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.PoolBytes == 0 {
+		o.PoolBytes = d.PoolBytes
+	}
+	if o.SubMemTableBytes == 0 {
+		o.SubMemTableBytes = d.SubMemTableBytes
+	}
+	if o.FlushThreads == 0 {
+		o.FlushThreads = d.FlushThreads
+	}
+	if o.SyncThreshold == 0 {
+		o.SyncThreshold = d.SyncThreshold
+	}
+	if o.ImmZoneBytes == 0 {
+		o.ImmZoneBytes = d.ImmZoneBytes
+	}
+	if o.SpillFraction == 0 {
+		o.SpillFraction = d.SpillFraction
+	}
+	if o.MissThreshold == 0 {
+		o.MissThreshold = d.MissThreshold
+	}
+	if o.FSBytes == 0 {
+		o.FSBytes = d.FSBytes
+	}
+	if o.ManifestBytes == 0 {
+		o.ManifestBytes = d.ManifestBytes
+	}
+	return o
+}
+
+// Stats exposes CacheKV's internal counters.
+type Stats struct {
+	Puts        atomic.Int64
+	Gets        atomic.Int64
+	Deletes     atomic.Int64
+	Flushes     atomic.Int64 // copy-based flushes completed
+	Spills      atomic.Int64 // L0 spills
+	Compactions atomic.Int64 // sub-skiplist compaction rounds
+	ReadSyncs   atomic.Int64 // trigger-1 lazy syncs performed by readers
+}
+
+// Engine is the CacheKV store.
+type Engine struct {
+	m    *hw.Machine
+	opts Options
+
+	poolPart cache.PartitionID
+	pool     *pool
+	immArena *arena.PArena
+	mem      *memState
+	fs       *pmemfs.FS
+	tree     *lsm.Tree
+
+	seq           atomic.Uint64
+	maxSpilledSeq atomic.Uint64
+
+	flushCh        chan *slot
+	syncCh         chan syncReq
+	compactCh      chan struct{}
+	spillCh        chan int64
+	flushServers   *sim.ServerPool
+	spillServer    *sim.ServerPool
+	indexServer    *sim.ServerPool
+	pendingFlushes atomic.Int64
+	flushWG        sync.WaitGroup
+	indexWG        sync.WaitGroup
+	spillWG        sync.WaitGroup
+
+	spillMu    sync.RWMutex
+	spillState struct {
+		mu    sync.Mutex
+		cond  *sync.Cond
+		doneV int64 // virtual completion time of the latest spill
+	}
+
+	stats  Stats
+	failed atomic.Pointer[error]
+	closed atomic.Bool
+}
+
+var (
+	errEngineClosed  = errors.New("cachekv: engine closed")
+	errEngineCrashed = errors.New("cachekv: engine crash-stopped")
+)
+
+// Open creates (or, after a crash, recovers) a CacheKV instance on machine m.
+// Region names are fixed, so reopening the same machine finds its prior
+// state.
+func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
+	opts = opts.withDefaults()
+	e := &Engine{
+		m:         m,
+		opts:      opts,
+		mem:       newMemState(),
+		flushCh:   make(chan *slot, 1024),
+		syncCh:    make(chan syncReq, 4096),
+		compactCh: make(chan struct{}, 64),
+		spillCh:   make(chan int64, 1),
+	}
+	e.flushServers = sim.NewServerPool(opts.FlushThreads)
+	e.spillServer = sim.NewServerPool(1)
+	// The paper dedicates one background thread to the lazy index update and
+	// sub-skiplist compaction; its work is billed here, overlapping flushes.
+	e.indexServer = sim.NewServerPool(1)
+	e.spillState.cond = sync.NewCond(&e.spillState.mu)
+
+	part, err := m.Cache.Reserve(int(opts.PoolBytes))
+	if err != nil {
+		return nil, fmt.Errorf("cachekv: pinning pool: %w", err)
+	}
+	e.poolPart = part
+
+	poolRegion, recovered := m.LookupRegion("cachekv.pool")
+	if !recovered {
+		poolRegion = m.Alloc("cachekv.pool", opts.PoolBytes, 4096)
+	}
+	immRegion, ok := m.LookupRegion("cachekv.imm")
+	if !ok {
+		immRegion = m.Alloc("cachekv.imm", opts.ImmZoneBytes, 4096)
+	}
+	fsRegion, ok := m.LookupRegion("cachekv.fs")
+	if !ok {
+		fsRegion = m.Alloc("cachekv.fs", opts.FSBytes, 4096)
+	}
+	manifestRegion, ok := m.LookupRegion("cachekv.manifest")
+	if !ok {
+		manifestRegion = m.Alloc("cachekv.manifest", opts.ManifestBytes, 4096)
+	}
+
+	e.immArena = arena.NewPArena(immRegion)
+	e.fs, err = pmemfs.Mount(m, fsRegion, th)
+	if err != nil {
+		return nil, err
+	}
+	e.tree, err = lsm.Open(m, e.fs, manifestRegion, opts.LSM, th)
+	if err != nil {
+		return nil, err
+	}
+	e.seq.Store(e.tree.LastSeq())
+	e.maxSpilledSeq.Store(e.tree.LastSeq())
+
+	if recovered {
+		if err := e.recover(poolRegion, th); err != nil {
+			return nil, err
+		}
+	} else {
+		e.pool, err = newPool(m, poolRegion, part, opts.SubMemTableBytes, m.Cores(), opts.Elastic, opts.MissThreshold, th)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	e.pool.sealFn = func(s *slot) {
+		e.pendingFlushes.Add(1)
+		select {
+		case e.flushCh <- s:
+		default:
+			// The channel is sized far beyond the slot count; dropping here
+			// would leak an immutable slot, so treat overflow as a bug.
+			e.pendingFlushes.Add(-1)
+			e.fail(fmt.Errorf("cachekv: flush queue overflow"))
+		}
+	}
+
+	for i := 0; i < opts.FlushThreads; i++ {
+		e.flushWG.Add(1)
+		go e.flusher()
+	}
+	e.spillWG.Add(1)
+	go e.spillLoop()
+	e.indexWG.Add(1)
+	go e.indexLoop()
+	return e, nil
+}
+
+// fail records the first background error; subsequent operations return it
+// and threads blocked on background progress are woken to observe it.
+func (e *Engine) fail(err error) {
+	if err == nil {
+		return
+	}
+	e.failed.CompareAndSwap(nil, &err)
+	if e.pool != nil {
+		e.pool.aborted.Store(true)
+	}
+	if e.spillState.cond != nil {
+		e.spillState.mu.Lock()
+		e.spillState.cond.Broadcast()
+		e.spillState.mu.Unlock()
+	}
+	if e.pool != nil {
+		e.pool.mu.Lock()
+		e.pool.cond.Broadcast()
+		e.pool.mu.Unlock()
+	}
+}
+
+func (e *Engine) err() error {
+	if p := e.failed.Load(); p != nil {
+		return *p
+	}
+	if e.closed.Load() {
+		return errEngineClosed
+	}
+	return nil
+}
+
+// bgErr is the failure condition background threads respect: a recorded
+// error or crash-stop, but NOT a graceful Close — shutdown still drains the
+// flush and spill pipelines.
+func (e *Engine) bgErr() error {
+	if p := e.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Name implements kvstore.DB.
+func (e *Engine) Name() string {
+	switch {
+	case !e.opts.LazyIndex:
+		return "PCSM"
+	case !e.opts.SkiplistCompaction:
+		return "PCSM+LIU"
+	default:
+		return "CacheKV"
+	}
+}
+
+// GetStats returns the engine's counters.
+func (e *Engine) GetStats() *Stats { return &e.stats }
+
+// Tree exposes the storage component (tests and tooling).
+func (e *Engine) Tree() *lsm.Tree { return e.tree }
+
+// PoolSlots reports the current number of usable sub-MemTables.
+func (e *Engine) PoolSlots() int { return e.pool.numSlots() }
+
+// DebugTimers reports internal virtual-time accounting: cumulative slot
+// allocation wait, flush-server jobs and busy time, spill-server jobs and
+// busy time (tests and calibration tooling).
+func (e *Engine) DebugTimers() (allocWaitNs, flushJobs, flushBusyNs, spillJobs, spillBusyNs int64) {
+	fj, fb := e.flushServers.Stats()
+	sj, sb := e.spillServer.Stats()
+	return e.pool.allocWaitNs.Load(), fj, fb, sj, sb
+}
+
+// align8 pads entry lengths so offsets stay 8-byte aligned (the recovery
+// scanner and lazy sync both rely on it).
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// Put implements kvstore.DB: append to the core's sub-MemTable in the
+// persistent cache and commit with one CAS on the packed header.
+func (e *Engine) Put(th *hw.Thread, key, value []byte) error {
+	return e.write(th, key, value, util.KindValue)
+}
+
+// Delete implements kvstore.DB (a tombstone append).
+func (e *Engine) Delete(th *hw.Thread, key []byte) error {
+	if err := e.write(th, key, nil, util.KindDelete); err != nil {
+		return err
+	}
+	e.stats.Deletes.Add(1)
+	return nil
+}
+
+func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind) error {
+	if err := e.err(); err != nil {
+		return err
+	}
+	seq := e.seq.Add(1)
+	ikey := util.MakeInternalKey(nil, key, seq, kind)
+	enc := kvstore.EncodeEntry(nil, ikey, value)
+	need := align8(uint64(len(enc)))
+
+	// Global metadata structure lookup: one DRAM access (Section III-A).
+	core := th.Core
+	th.ChargeDRAM(1)
+
+	for {
+		s := e.pool.slotFor(core)
+		if s == nil {
+			th.InPhase(hw.PhaseOther, func() {
+				s = e.pool.acquire(th, core, seq)
+			})
+			if s == nil {
+				// The pool aborted: the engine failed while we waited.
+				if err := e.err(); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		hdr := s.hdr.Load()
+		count, state, tail := unpackHdr(hdr)
+		if state != stateAllocated {
+			// Slot was sealed under us (FlushAll); drop the mapping and retry.
+			e.pool.coreSlot[core].CompareAndSwap(int32(s.idx), -1)
+			continue
+		}
+		if tail+need > s.dataCap() {
+			// Full: seal, queue the copy-based flush, grab a fresh one.
+			if sealed := e.pool.sealForCore(th, core); sealed != nil {
+				e.pendingFlushes.Add(1)
+				e.flushCh <- sealed
+			}
+			continue
+		}
+		// Append the entry into the pinned cache lines, then commit
+		// tail+counter with a single CAS (the persistence point).
+		th.InPhase(hw.PhaseAppend, func() {
+			e.m.Cache.Write(th.Clock, s.dataAddr()+tail, enc, e.poolPart)
+		})
+		if !e.pool.casHdr(th, s, hdr, packHdr(count+1, stateAllocated, tail+need)) {
+			// Another thread on this core raced us; retry cleanly.
+			continue
+		}
+		if e.opts.LazyIndex {
+			// Trigger 2: hand the slot to the background index thread every
+			// SyncThreshold writes.
+			if (count+1)%uint64(e.opts.SyncThreshold) == 0 {
+				select {
+				case e.syncCh <- syncReq{s: s, at: th.Clock.Now()}:
+				default:
+				}
+			}
+		} else {
+			// PCSM mode: diligently update the sub-skiplist on the spot.
+			th.InPhase(hw.PhaseIndex, func() {
+				s.syncMu.Lock()
+				if s.list != nil {
+					s.list.Insert(ikey, util.PutFixed64(nil, tail), func(visits int) {
+						th.Clock.Advance(int64(visits) * (e.m.Costs.DRAMAccess + e.m.Costs.SkiplistVisit) / 8)
+					})
+					s.listCount++
+					s.listTail = tail + need
+				}
+				s.syncMu.Unlock()
+			})
+		}
+		e.stats.Puts.Add(1)
+		return nil
+	}
+}
+
+// Get implements kvstore.DB. The freshest version may live in any active
+// sub-MemTable, any flushed sub-ImmMemTable (directly or via the global
+// skiplist), or the LSM tree; candidates are compared by sequence number.
+func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
+	if err := e.err(); err != nil {
+		return nil, err
+	}
+	e.stats.Gets.Add(1)
+	snapshot := e.seq.Load()
+	var res kvstore.UserGetResult
+
+	// 1. Active sub-MemTables: trigger-1 lazy sync then search each.
+	for _, s := range e.pool.snapshotActive() {
+		if e.opts.LazyIndex && needsSync(s) {
+			th.InPhase(hw.PhaseIndex, func() {
+				if e.syncSlot(th, s) > 0 {
+					e.stats.ReadSyncs.Add(1)
+				}
+			})
+		}
+		s.syncMu.Lock()
+		list := s.list
+		s.syncMu.Unlock()
+		if list == nil {
+			continue
+		}
+		if v, fseq, kind, ok := e.searchList(th, list, s.dataAddr(), e.poolPart, key, snapshot); ok {
+			res.Consider(v, fseq, kind)
+		}
+	}
+
+	// 2. Flushed sub-ImmMemTables: the global skiplist covers compacted
+	// tables; uncompacted ones are searched individually.
+	e.mem.mu.RLock()
+	global := e.mem.global
+	var uncompacted []*immTable
+	for _, t := range e.mem.imms {
+		if !t.compacted {
+			uncompacted = append(uncompacted, t)
+		}
+	}
+	e.mem.mu.RUnlock()
+	if e.opts.SkiplistCompaction {
+		gv, ok := global.Get(key, func(visits int) {
+			th.Clock.Advance(int64(visits) * (e.m.Costs.DRAMAccess + e.m.Costs.SkiplistVisit) / 8)
+		})
+		if ok {
+			gseq, kind, addr := decodeGlobalVal(gv)
+			if gseq <= snapshot {
+				if _, val, okF := e.fetchEntry(th, addr, 0, cache.DefaultPartition); okF {
+					res.Consider(val, gseq, kind)
+				}
+			}
+		}
+	}
+	for _, t := range uncompacted {
+		if v, fseq, kind, ok := e.searchList(th, t.list, t.base, cache.DefaultPartition, key, snapshot); ok {
+			res.Consider(v, fseq, kind)
+		}
+	}
+
+	// 3. The LSM tree — skippable when the memory component already holds a
+	// version newer than anything ever spilled.
+	if !res.Found || res.Seq <= e.maxSpilledSeq.Load() {
+		v, fseq, found, deleted, err := e.tree.Get(th, key, snapshot)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			res.Consider(v, fseq, util.KindValue)
+		} else if deleted {
+			res.Consider(nil, fseq, util.KindDelete)
+		}
+	}
+
+	if !res.Found || res.Kind == util.KindDelete {
+		return nil, kvstore.ErrNotFound
+	}
+	return res.Value, nil
+}
+
+// Scan implements kvstore.DB: a merged ordered walk over every source.
+func (e *Engine) Scan(th *hw.Thread, start []byte, limit int, fn func(key, value []byte) bool) (int, error) {
+	if err := e.err(); err != nil {
+		return 0, err
+	}
+	snapshot := e.seq.Load()
+	var its []lsm.Iterator
+	for _, s := range e.pool.snapshotActive() {
+		e.syncSlot(th, s) // scans need complete indexes
+		s.syncMu.Lock()
+		list := s.list
+		s.syncMu.Unlock()
+		if list != nil {
+			its = append(its, e.newTableIter(th, list, s.dataAddr(), e.poolPart))
+		}
+	}
+	e.mem.mu.RLock()
+	for i := len(e.mem.imms) - 1; i >= 0; i-- {
+		t := e.mem.imms[i]
+		its = append(its, e.newTableIter(th, t.list, t.base, cache.DefaultPartition))
+	}
+	e.mem.mu.RUnlock()
+	treeIt, err := e.tree.NewIterator(th)
+	if err != nil {
+		return 0, err
+	}
+	its = append(its, treeIt)
+	merged := lsm.NewMergingIterator(its...)
+	return kvstore.UserScan(merged, start, snapshot, limit, fn), nil
+}
+
+// FlushAll implements kvstore.DB: seal everything, drain the flush pipeline,
+// spill the ImmZone, and wait for the tree to settle.
+func (e *Engine) FlushAll(th *hw.Thread) error {
+	if err := e.err(); err != nil {
+		return err
+	}
+	for core := range e.pool.coreSlot {
+		if s := e.pool.sealForCore(th, core); s != nil {
+			count, _, _ := unpackHdr(s.hdr.Load())
+			if count == 0 {
+				// Empty slot: free it directly rather than flushing nothing.
+				e.pool.markFree(th, s, th.Clock.Now())
+				continue
+			}
+			e.pendingFlushes.Add(1)
+			e.flushCh <- s
+		}
+	}
+	for e.pendingFlushes.Load() > 0 {
+		if err := e.err(); err != nil {
+			return err
+		}
+		runtime.Gosched()
+	}
+	e.spill(th)
+	// Advance the caller past all background virtual time.
+	th.Clock.AdvanceTo(e.flushServers.EarliestFree())
+	return e.err()
+}
+
+// Halt crash-stops the engine: all operations begin failing immediately and
+// background threads abandon their queued work instead of completing it.
+// Used by crash simulation, where a graceful Close would persist more state
+// than a power failure leaves behind.
+func (e *Engine) Halt() { e.fail(errEngineCrashed) }
+
+// Close implements kvstore.DB.
+func (e *Engine) Close(th *hw.Thread) error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	// Drain flushers first: an in-flight flush may still signal the spill or
+	// index threads, so their channels close only after every flusher exits.
+	close(e.flushCh)
+	e.flushWG.Wait()
+	close(e.spillCh)
+	e.spillWG.Wait()
+	close(e.syncCh)
+	close(e.compactCh)
+	e.indexWG.Wait()
+	// Graceful shutdown: write the pinned pool back to the PMem before
+	// surrendering the partition, so a close is never lossier than a crash
+	// (eADR would have drained these lines anyway). A crash-stopped engine
+	// skips this — the power is already off.
+	if p := e.failed.Load(); p == nil || *p != errEngineCrashed {
+		if r, ok := e.m.LookupRegion("cachekv.pool"); ok {
+			th := e.m.NewThread(0)
+			e.m.Cache.FlushOpt(th.Clock, r.Addr, int(r.Size))
+		}
+	}
+	e.m.Cache.Release(e.poolPart)
+	if p := e.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+var _ kvstore.DB = (*Engine)(nil)

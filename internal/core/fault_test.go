@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cachekv/internal/kvstore"
+)
+
+// TestFaultImmZoneTooSmallForTable verifies the engine fails cleanly (rather
+// than deadlocking) when a sub-MemTable cannot fit the ImmZone at all.
+func TestFaultImmZoneTooSmallForTable(t *testing.T) {
+	m := testMachine()
+	opts := DefaultOptions()
+	opts.PoolBytes = 8 << 20
+	opts.SubMemTableBytes = 4 << 20
+	opts.ImmZoneBytes = 1 << 20 // smaller than one table: config error
+	opts.FSBytes = 64 << 20
+	th := m.NewThread(0)
+	e, err := Open(m, opts, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close(th)
+	var lastErr error
+	for i := 0; i < 200000; i++ {
+		if lastErr = e.Put(th, []byte(fmt.Sprintf("k%08d", i)), make([]byte, 64)); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("engine accepted writes forever despite an impossible ImmZone")
+	}
+}
+
+// TestFaultFSExhaustion verifies the storage layer's out-of-space error
+// surfaces through the engine instead of hanging background threads.
+func TestFaultFSExhaustion(t *testing.T) {
+	m := testMachine()
+	opts := smallOpts()
+	opts.FSBytes = 4 << 20 // tiny SSTable space: spills must run out
+	th := m.NewThread(0)
+	e, err := Open(m, opts, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close(th)
+	var lastErr error
+	for i := 0; i < 500000; i++ {
+		if lastErr = e.Put(th, []byte(fmt.Sprintf("k%08d", i%100000)), make([]byte, 64)); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = e.FlushAll(th)
+	}
+	if lastErr == nil {
+		t.Fatal("no error despite exhausting the SSTable file layer")
+	}
+}
+
+// TestFaultOperationsAfterFailure verifies the engine stays failed (and
+// consistent about it) once a background error is recorded.
+func TestFaultOperationsAfterFailure(t *testing.T) {
+	m := testMachine()
+	e, th := openEngine(t, m, smallOpts())
+	defer e.Close(th)
+	e.fail(fmt.Errorf("injected failure"))
+	if err := e.Put(th, []byte("k"), []byte("v")); err == nil {
+		t.Fatal("Put succeeded on a failed engine")
+	}
+	if _, err := e.Get(th, []byte("k")); err == nil || err == kvstore.ErrNotFound {
+		t.Fatalf("Get on failed engine returned %v", err)
+	}
+	if err := e.FlushAll(th); err == nil {
+		t.Fatal("FlushAll succeeded on a failed engine")
+	}
+}
+
+// TestFaultHaltStopsEverything verifies Halt makes all operations fail and
+// Close still terminates cleanly.
+func TestFaultHaltStopsEverything(t *testing.T) {
+	m := testMachine()
+	e, th := openEngine(t, m, smallOpts())
+	for i := 0; i < 5000; i++ {
+		e.Put(th, []byte(fmt.Sprintf("k%06d", i)), make([]byte, 64))
+	}
+	e.Halt()
+	if err := e.Put(th, []byte("post"), []byte("v")); err == nil {
+		t.Fatal("Put succeeded after Halt")
+	}
+	if err := e.Close(th); err == nil {
+		t.Fatal("Close after Halt should surface the crash-stop")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/cache"
+	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
+	"cachekv/internal/skiplist"
+	"cachekv/internal/util"
+)
+
+// Sub-skiplist node values are the 8-byte offset of the entry inside the
+// owning table's data region; the entry bytes themselves stay in the cache
+// (active slots) or the ImmZone (flushed tables). Keeping only offsets in
+// DRAM is what saves the cache footprint (Section III-B).
+
+// syncSlot brings a slot's sub-skiplist up to date with its sub-MemTable by
+// replaying the data region from listTail to the current tail pointer — the
+// paper's synchronization procedure, comparing list counter and table
+// counter. Costs are charged to th (a reader performing trigger-1 sync pays
+// for it; the background index thread pays on its own clock otherwise).
+// Returns the number of entries applied.
+func (e *Engine) syncSlot(th *hw.Thread, s *slot) int {
+	count, _, tail := unpackHdr(s.hdr.Load())
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.list == nil || s.listCount >= count {
+		return 0
+	}
+	applied := 0
+	for s.listCount < count && s.listTail < tail {
+		off := s.listTail
+		// Read the entry header to size the fetch.
+		var hdr [8]byte
+		e.m.Cache.Read(th.Clock, s.dataAddr()+off, hdr[:], e.poolPart)
+		blen := uint64(util.Fixed32(hdr[:]))
+		if blen == 0 || off+8+blen > tail {
+			break // torn tail; the committed counter should prevent this
+		}
+		buf := make([]byte, 8+blen)
+		e.m.Cache.Read(th.Clock, s.dataAddr()+off, buf, e.poolPart)
+		ik, _, n, err := kvstore.DecodeEntry(buf)
+		if err != nil {
+			break
+		}
+		val := util.PutFixed64(nil, off)
+		// Bulk sequential index building keeps the skiplist's upper levels
+		// hot in the private caches: cheaper per hop than a cold lookup.
+		s.list.Insert(ik, val, func(visits int) {
+			th.Clock.Advance(int64(visits) * (e.m.Costs.DRAMAccess + e.m.Costs.SkiplistVisit) / 16)
+		})
+		s.listTail += uint64(n)
+		s.listTail = (s.listTail + 7) &^ 7
+		s.listCount++
+		applied++
+	}
+	return applied
+}
+
+// needsSync reports whether the slot's sub-skiplist lags its table counter.
+func needsSync(s *slot) bool {
+	count, _, _ := unpackHdr(s.hdr.Load())
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	return s.list != nil && s.listCount < count
+}
+
+// fetchEntry reads and decodes the entry stored at off within a data region
+// starting at base, reading through the cache under partition part.
+func (e *Engine) fetchEntry(th *hw.Thread, base, off uint64, part cache.PartitionID) (util.InternalKey, []byte, bool) {
+	var hdr [8]byte
+	e.m.Cache.Read(th.Clock, base+off, hdr[:], part)
+	blen := uint64(util.Fixed32(hdr[:]))
+	if blen == 0 {
+		return nil, nil, false
+	}
+	buf := make([]byte, 8+blen)
+	e.m.Cache.Read(th.Clock, base+off, buf, part)
+	ik, val, _, err := kvstore.DecodeEntry(buf)
+	if err != nil {
+		return nil, nil, false
+	}
+	return ik, val, true
+}
+
+// searchList looks ukey up (at or below seq) in one sub-skiplist, resolving
+// the stored offset against base. Node visits are charged at DRAM latency —
+// the point of keeping sub-skiplists in DRAM.
+func (e *Engine) searchList(th *hw.Thread, list *skiplist.List, base uint64, part cache.PartitionID, ukey []byte, seq uint64) (value []byte, foundSeq uint64, kind util.ValueKind, ok bool) {
+	if list == nil {
+		return nil, 0, 0, false
+	}
+	target := util.MakeInternalKey(nil, ukey, seq, util.KindValue)
+	it := list.NewIterator()
+	it.Seek(target, func(visits int) {
+		th.Clock.Advance(int64(visits) * (e.m.Costs.DRAMAccess + e.m.Costs.SkiplistVisit) / 8)
+	})
+	if !it.Valid() {
+		return nil, 0, 0, false
+	}
+	found := util.InternalKey(it.Key())
+	if string(found.UserKey()) != string(ukey) {
+		return nil, 0, 0, false
+	}
+	off := util.Fixed64(it.Value())
+	_, val, okFetch := e.fetchEntry(th, base, off, part)
+	if !okFetch {
+		return nil, 0, 0, false
+	}
+	return val, found.Seq(), found.Kind(), true
+}
+
+// tableIter adapts (sub-skiplist, data base address) to lsm.Iterator,
+// decoding entry bytes lazily. It serves scans over active slots and imm
+// tables, and feeds the L0 spill.
+type tableIter struct {
+	e    *Engine
+	th   *hw.Thread
+	it   *skiplist.Iterator
+	base uint64
+	part cache.PartitionID
+	val  []byte
+	ok   bool
+}
+
+func (e *Engine) newTableIter(th *hw.Thread, list *skiplist.List, base uint64, part cache.PartitionID) *tableIter {
+	return &tableIter{e: e, th: th, it: list.NewIterator(), base: base, part: part}
+}
+
+func (t *tableIter) load() {
+	t.ok = false
+	if !t.it.Valid() {
+		return
+	}
+	off := util.Fixed64(t.it.Value())
+	_, val, ok := t.e.fetchEntry(t.th, t.base, off, t.part)
+	if !ok {
+		return
+	}
+	t.val = val
+	t.ok = true
+}
+
+// Valid reports whether the iterator is on an entry.
+func (t *tableIter) Valid() bool { return t.ok }
+
+// SeekToFirst positions at the table's smallest internal key.
+func (t *tableIter) SeekToFirst() { t.it.SeekToFirst(); t.load() }
+
+// Seek positions at the first entry >= ik.
+func (t *tableIter) Seek(ik util.InternalKey) { t.it.Seek(ik, nil); t.load() }
+
+// Next advances the iterator.
+func (t *tableIter) Next() { t.it.Next(); t.load() }
+
+// Key returns the current internal key.
+func (t *tableIter) Key() util.InternalKey { return util.InternalKey(t.it.Key()) }
+
+// Value returns the current value bytes.
+func (t *tableIter) Value() []byte { return t.val }
+
+var _ lsm.Iterator = (*tableIter)(nil)
+
+// snapIter walks a sub-skiplist whose entry bytes were bulk-read into a DRAM
+// snapshot; the spill merge uses it so its reads are one sequential pass
+// instead of per-entry media accesses.
+type snapIter struct {
+	it   *skiplist.Iterator
+	snap []byte
+	val  []byte
+	ok   bool
+}
+
+func (e *Engine) newSnapIter(list *skiplist.List, snap []byte) *snapIter {
+	return &snapIter{it: list.NewIterator(), snap: snap}
+}
+
+func (t *snapIter) load() {
+	t.ok = false
+	if !t.it.Valid() {
+		return
+	}
+	off := util.Fixed64(t.it.Value())
+	if off >= uint64(len(t.snap)) {
+		return
+	}
+	_, val, _, err := kvstore.DecodeEntry(t.snap[off:])
+	if err != nil {
+		return
+	}
+	t.val = val
+	t.ok = true
+}
+
+// Valid reports whether the iterator is on an entry.
+func (t *snapIter) Valid() bool { return t.ok }
+
+// SeekToFirst positions at the table's smallest internal key.
+func (t *snapIter) SeekToFirst() { t.it.SeekToFirst(); t.load() }
+
+// Seek positions at the first entry >= ik.
+func (t *snapIter) Seek(ik util.InternalKey) { t.it.Seek(ik, nil); t.load() }
+
+// Next advances the iterator.
+func (t *snapIter) Next() { t.it.Next(); t.load() }
+
+// Key returns the current internal key.
+func (t *snapIter) Key() util.InternalKey { return util.InternalKey(t.it.Key()) }
+
+// Value returns the current value bytes.
+func (t *snapIter) Value() []byte { return t.val }
+
+var _ lsm.Iterator = (*snapIter)(nil)
+
+// Global-skiplist node values pack {seq, kind, absolute entry address} so a
+// Get hitting the compacted view can fetch the value straight from the
+// ImmZone without touching any per-table sub-skiplist.
+func encodeGlobalVal(seq uint64, kind util.ValueKind, addr uint64) []byte {
+	b := util.PutFixed64(nil, seq)
+	b = append(b, byte(kind))
+	return util.PutFixed64(b, addr)
+}
+
+func decodeGlobalVal(b []byte) (seq uint64, kind util.ValueKind, addr uint64) {
+	return util.Fixed64(b), util.ValueKind(b[8]), util.Fixed64(b[9:])
+}
+
+// compactInto merges one flushed table's sub-skiplist into the global
+// skiplist, keeping only the freshest version per user key — the
+// sub-skiplist compaction of Section III-D, which removes invalid nodes so
+// later reads walk one list instead of many. Runs on the background index
+// thread's clock.
+func (e *Engine) compactInto(th *hw.Thread, global *skiplist.List, t *immTable) int {
+	it := t.list.NewIterator()
+	it.SeekToFirst()
+	merged := 0
+	charge := func(visits int) {
+		th.Clock.Advance(int64(visits) * (e.m.Costs.DRAMAccess + e.m.Costs.SkiplistVisit) / 16)
+	}
+	for it.Valid() {
+		ik := util.InternalKey(it.Key())
+		off := util.Fixed64(it.Value())
+		ukey := append([]byte(nil), ik.UserKey()...)
+		cur, ok := global.Get(ukey, charge)
+		if !ok || func() bool { s, _, _ := decodeGlobalVal(cur); return ik.Seq() > s }() {
+			global.Insert(ukey, encodeGlobalVal(ik.Seq(), ik.Kind(), t.base+off), charge)
+			merged++
+		}
+		it.Next()
+	}
+	return merged
+}

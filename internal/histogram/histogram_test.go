@@ -1,0 +1,102 @@
+package histogram
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBasicStats(t *testing.T) {
+	h := New()
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 100)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 5000 || m > 5200 {
+		t.Fatalf("Mean = %v", m)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 3000 || p50 > 7000 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < p50 {
+		t.Fatalf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram stats should be zero")
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	h := New()
+	h.Record(-5)
+	if h.Count() != 1 {
+		t.Fatal("negative observation dropped")
+	}
+	if h.Percentile(100) != 0 {
+		t.Fatalf("clamped value wrong: %v", h.Percentile(100))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Record(100)
+	b.Record(300)
+	b.Record(500)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if m := a.Mean(); m != 300 {
+		t.Fatalf("merged mean = %v", m)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestString(t *testing.T) {
+	h := New()
+	h.Record(1000)
+	s := h.String()
+	if !strings.Contains(s, "count=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	h := New()
+	for i := 0; i < 10000; i++ {
+		h.Record(int64(i%977) * 37)
+	}
+	prev := 0.0
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone: p%.1f=%v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}

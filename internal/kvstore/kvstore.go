@@ -1,0 +1,101 @@
+// Package kvstore defines the engine-neutral surface every KV store in the
+// repository implements — CacheKV and both baselines plus their variants —
+// along with the shared memtable helper the baseline engines build on. The
+// benchmark harness drives engines exclusively through this interface, which
+// is what makes the paper's head-to-head comparisons meaningful.
+package kvstore
+
+import (
+	"errors"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/lsm"
+	"cachekv/internal/util"
+)
+
+// ErrNotFound is returned by Get when the key does not exist (or its newest
+// version is a tombstone).
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// DB is the engine interface. Every operation executes on behalf of a
+// simulated thread whose virtual clock absorbs the operation's cost.
+type DB interface {
+	// Put stores key -> value.
+	Put(th *hw.Thread, key, value []byte) error
+	// Get returns the freshest value for key, or ErrNotFound.
+	Get(th *hw.Thread, key []byte) ([]byte, error)
+	// Delete removes key (writes a tombstone).
+	Delete(th *hw.Thread, key []byte) error
+	// Scan visits up to limit live entries with key >= start in order,
+	// stopping early if fn returns false. It returns the number visited.
+	Scan(th *hw.Thread, start []byte, limit int, fn func(key, value []byte) bool) (int, error)
+	// FlushAll forces every buffered write down to the storage component and
+	// waits for background work to settle (used between benchmark phases).
+	FlushAll(th *hw.Thread) error
+	// Close releases background resources. The machine (and its PMem
+	// contents) outlive the engine, which is how crash tests reopen state.
+	Close(th *hw.Thread) error
+	// Name identifies the engine variant in benchmark output.
+	Name() string
+}
+
+// Stats common to all engines, exposed by the concrete types (not through DB,
+// so each engine can extend its own).
+type Stats struct {
+	Puts    int64
+	Gets    int64
+	Deletes int64
+	Hits    int64
+	Misses  int64
+}
+
+// UserGetResult resolves the multi-source freshness race: engines gather the
+// best candidate per layer and keep the one with the highest sequence.
+type UserGetResult struct {
+	Value []byte
+	Seq   uint64
+	Kind  util.ValueKind
+	Found bool
+}
+
+// Consider merges a candidate into r if it is fresher than what r holds.
+func (r *UserGetResult) Consider(value []byte, seq uint64, kind util.ValueKind) {
+	if !r.Found || seq > r.Seq {
+		r.Value, r.Seq, r.Kind, r.Found = value, seq, kind, true
+	}
+}
+
+// UserScan drives a merged internal-key iterator (memtables over tree) and
+// yields each live user key's freshest value, skipping shadowed versions and
+// tombstones. It returns the number of entries visited.
+func UserScan(it lsm.Iterator, start []byte, seq uint64, limit int, fn func(key, value []byte) bool) int {
+	ik := util.MakeInternalKey(nil, start, seq, util.KindValue)
+	it.Seek(ik)
+	var lastUser []byte
+	haveLast := false
+	n := 0
+	for it.Valid() && (limit <= 0 || n < limit) {
+		key := it.Key()
+		if key.Seq() > seq {
+			it.Next()
+			continue
+		}
+		u := key.UserKey()
+		if haveLast && string(u) == string(lastUser) {
+			it.Next()
+			continue
+		}
+		lastUser = append(lastUser[:0], u...)
+		haveLast = true
+		if key.Kind() == util.KindDelete {
+			it.Next()
+			continue
+		}
+		n++
+		if !fn(u, it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+// Package lsm implements the storage component shared by every engine in the
+// repository: a leveled LSM-tree of SSTables living in the PMem file layer,
+// with a version set persisted through a manifest log, L0 flush, leveled
+// compaction, and merged iteration — the LevelDB substrate the paper builds
+// CacheKV on. A SingleLevel mode collapses the hierarchy to one sorted level,
+// which is how SLM-DB organizes its on-storage data.
+package lsm
+
+import (
+	"container/heap"
+
+	"cachekv/internal/util"
+)
+
+// Iterator is the internal-key iterator every source (memtable adapters,
+// SSTables, merged views) implements. Keys are internal keys ordered by
+// util.CompareInternal.
+type Iterator interface {
+	Valid() bool
+	SeekToFirst()
+	Seek(ikey util.InternalKey)
+	Next()
+	Key() util.InternalKey
+	Value() []byte
+}
+
+// mergeItem is one source inside the merge heap.
+type mergeItem struct {
+	it  Iterator
+	ord int // tie-break: lower ord wins (newer source)
+}
+
+type mergeHeap []*mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := util.CompareInternal(h[i].it.Key(), h[j].it.Key())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].ord < h[j].ord
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MergingIterator merges several sources into one ordered stream. Sources
+// listed earlier win ties on identical internal keys (callers order newest
+// first, although identical internal keys cannot occur between well-formed
+// sources because sequence numbers are unique).
+type MergingIterator struct {
+	all []*mergeItem
+	h   mergeHeap
+}
+
+// NewMergingIterator builds a merged view of its (unpositioned) sources.
+func NewMergingIterator(its ...Iterator) *MergingIterator {
+	m := &MergingIterator{}
+	for i, it := range its {
+		m.all = append(m.all, &mergeItem{it: it, ord: i})
+	}
+	return m
+}
+
+func (m *MergingIterator) rebuild() {
+	m.h = m.h[:0]
+	for _, item := range m.all {
+		if item.it.Valid() {
+			m.h = append(m.h, item)
+		}
+	}
+	heap.Init(&m.h)
+}
+
+// SeekToFirst positions every source at its start.
+func (m *MergingIterator) SeekToFirst() {
+	for _, item := range m.all {
+		item.it.SeekToFirst()
+	}
+	m.rebuild()
+}
+
+// Seek positions at the first merged entry >= ikey.
+func (m *MergingIterator) Seek(ikey util.InternalKey) {
+	for _, item := range m.all {
+		item.it.Seek(ikey)
+	}
+	m.rebuild()
+}
+
+// Valid reports whether the merged stream has a current entry.
+func (m *MergingIterator) Valid() bool { return len(m.h) > 0 }
+
+// Key returns the current smallest internal key across sources.
+func (m *MergingIterator) Key() util.InternalKey { return m.h[0].it.Key() }
+
+// Value returns the value paired with Key.
+func (m *MergingIterator) Value() []byte { return m.h[0].it.Value() }
+
+// Next advances the winning source and restores heap order.
+func (m *MergingIterator) Next() {
+	top := m.h[0]
+	top.it.Next()
+	if top.it.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}

@@ -1,0 +1,124 @@
+package lsm
+
+import (
+	"cachekv/internal/util"
+)
+
+// FileMeta describes one SSTable registered in the version set.
+type FileMeta struct {
+	Num      uint64
+	Size     uint64
+	Count    int
+	Smallest util.InternalKey
+	Largest  util.InternalKey
+}
+
+// versionEdit is one manifest record: files added/removed plus counters.
+// Replaying all edits in order reconstructs the version set after a crash.
+type versionEdit struct {
+	added    []addedFile
+	deleted  []deletedFile
+	nextFile uint64 // 0 means unchanged
+	lastSeq  uint64 // 0 means unchanged
+}
+
+type addedFile struct {
+	level int
+	meta  FileMeta
+}
+
+type deletedFile struct {
+	level int
+	num   uint64
+}
+
+func (e *versionEdit) encode() []byte {
+	b := util.PutUvarint(nil, uint64(len(e.added)))
+	for _, a := range e.added {
+		b = util.PutUvarint(b, uint64(a.level))
+		b = util.PutUvarint(b, a.meta.Num)
+		b = util.PutUvarint(b, a.meta.Size)
+		b = util.PutUvarint(b, uint64(a.meta.Count))
+		b = util.PutLengthPrefixed(b, a.meta.Smallest)
+		b = util.PutLengthPrefixed(b, a.meta.Largest)
+	}
+	b = util.PutUvarint(b, uint64(len(e.deleted)))
+	for _, d := range e.deleted {
+		b = util.PutUvarint(b, uint64(d.level))
+		b = util.PutUvarint(b, d.num)
+	}
+	b = util.PutUvarint(b, e.nextFile)
+	b = util.PutUvarint(b, e.lastSeq)
+	return b
+}
+
+func decodeEdit(src []byte) (*versionEdit, error) {
+	e := &versionEdit{}
+	nAdd, n, err := util.Uvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[n:]
+	for i := uint64(0); i < nAdd; i++ {
+		var a addedFile
+		var lvl uint64
+		if lvl, n, err = util.Uvarint(src); err != nil {
+			return nil, err
+		}
+		a.level = int(lvl)
+		src = src[n:]
+		if a.meta.Num, n, err = util.Uvarint(src); err != nil {
+			return nil, err
+		}
+		src = src[n:]
+		if a.meta.Size, n, err = util.Uvarint(src); err != nil {
+			return nil, err
+		}
+		src = src[n:]
+		var cnt uint64
+		if cnt, n, err = util.Uvarint(src); err != nil {
+			return nil, err
+		}
+		a.meta.Count = int(cnt)
+		src = src[n:]
+		var k []byte
+		if k, n, err = util.LengthPrefixed(src); err != nil {
+			return nil, err
+		}
+		a.meta.Smallest = append(util.InternalKey(nil), k...)
+		src = src[n:]
+		if k, n, err = util.LengthPrefixed(src); err != nil {
+			return nil, err
+		}
+		a.meta.Largest = append(util.InternalKey(nil), k...)
+		src = src[n:]
+		e.added = append(e.added, a)
+	}
+	nDel, n, err := util.Uvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[n:]
+	for i := uint64(0); i < nDel; i++ {
+		var d deletedFile
+		var lvl uint64
+		if lvl, n, err = util.Uvarint(src); err != nil {
+			return nil, err
+		}
+		d.level = int(lvl)
+		src = src[n:]
+		if d.num, n, err = util.Uvarint(src); err != nil {
+			return nil, err
+		}
+		src = src[n:]
+		e.deleted = append(e.deleted, d)
+	}
+	if e.nextFile, n, err = util.Uvarint(src); err != nil {
+		return nil, err
+	}
+	src = src[n:]
+	if e.lastSeq, _, err = util.Uvarint(src); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

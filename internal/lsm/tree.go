@@ -1,0 +1,668 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/pmemfs"
+	"cachekv/internal/sstable"
+	"cachekv/internal/util"
+	"cachekv/internal/wal"
+)
+
+// Options configure the tree geometry. Zero values select the defaults noted
+// per field (scaled from LevelDB's to suit experiment-sized datasets).
+type Options struct {
+	L0CompactionTrigger int    // L0 file count triggering compaction (4)
+	BaseLevelBytes      int64  // L1 size limit; each level is Multiplier x larger (8 MiB)
+	LevelMultiplier     int64  // per-level growth factor (10)
+	MaxLevels           int    // total levels including L0 (7)
+	TableFileSize       uint64 // target SSTable size (2 MiB)
+	SingleLevel         bool   // SLM-DB mode: everything lives in one sorted-ish level, no compaction
+}
+
+func (o Options) withDefaults() Options {
+	if o.L0CompactionTrigger == 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.BaseLevelBytes == 0 {
+		o.BaseLevelBytes = 8 << 20
+	}
+	if o.LevelMultiplier == 0 {
+		o.LevelMultiplier = 10
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 7
+	}
+	if o.TableFileSize == 0 {
+		o.TableFileSize = 2 << 20
+	}
+	return o
+}
+
+// Stats counts tree activity.
+type Stats struct {
+	TablesFlushed   int64
+	Compactions     int64
+	CompactedBytes  int64
+	TablesCompacted int64
+}
+
+// Tree is the on-PMem LSM storage component.
+type Tree struct {
+	m    *hw.Machine
+	fs   *pmemfs.FS
+	opts Options
+
+	mu             sync.RWMutex
+	levels         [][]*FileMeta
+	manifest       *wal.Writer
+	manifestRegion hw.Region
+	nextFile       uint64
+	lastSeq        uint64
+	stats          Stats
+
+	readerMu sync.Mutex
+	readers  map[uint64]*sstable.Reader
+
+	// graveyard delays physical deletion of compacted-away files by two
+	// compaction cycles so in-flight readers and iterators (which run
+	// lock-free against a version snapshot) never lose their extents.
+	graveMu   sync.Mutex
+	graveyard [][]uint64
+}
+
+// Open mounts a tree whose manifest lives in manifestRegion, replaying any
+// previous state (crash recovery) and starting a fresh, compacted manifest.
+func Open(m *hw.Machine, fs *pmemfs.FS, manifestRegion hw.Region, opts Options, th *hw.Thread) (*Tree, error) {
+	opts = opts.withDefaults()
+	t := &Tree{
+		m:              m,
+		fs:             fs,
+		opts:           opts,
+		levels:         make([][]*FileMeta, opts.MaxLevels),
+		manifestRegion: manifestRegion,
+		nextFile:       1,
+		readers:        make(map[uint64]*sstable.Reader),
+	}
+	// Replay the previous manifest, if any.
+	r := wal.NewReader(m, manifestRegion)
+	err := r.ReplayAll(th, func(rec []byte) error {
+		e, err := decodeEdit(rec)
+		if err != nil {
+			return err
+		}
+		t.apply(e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Drop files whose SSTable vanished (crash between manifest append and
+	// file seal cannot happen in our ordering, but be defensive).
+	for lvl := range t.levels {
+		keep := t.levels[lvl][:0]
+		for _, f := range t.levels[lvl] {
+			if _, err := t.fs.Open(tableName(f.Num)); err == nil {
+				keep = append(keep, f)
+			}
+		}
+		t.levels[lvl] = keep
+	}
+	// Start a fresh manifest holding one snapshot edit.
+	t.manifest = wal.NewWriter(m, manifestRegion, th)
+	snap := &versionEdit{nextFile: t.nextFile, lastSeq: t.lastSeq}
+	for lvl, files := range t.levels {
+		for _, f := range files {
+			snap.added = append(snap.added, addedFile{level: lvl, meta: *f})
+		}
+	}
+	if _, err := t.manifest.Append(th, snap.encode()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func tableName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+
+// apply folds an edit into the in-memory version (t.mu must be held or the
+// tree not yet shared).
+func (t *Tree) apply(e *versionEdit) {
+	for _, d := range e.deleted {
+		files := t.levels[d.level]
+		for i, f := range files {
+			if f.Num == d.num {
+				t.levels[d.level] = append(files[:i:i], files[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, a := range e.added {
+		meta := a.meta
+		t.levels[a.level] = append(t.levels[a.level], &meta)
+		t.sortLevel(a.level)
+	}
+	if e.nextFile > t.nextFile {
+		t.nextFile = e.nextFile
+	}
+	if e.lastSeq > t.lastSeq {
+		t.lastSeq = e.lastSeq
+	}
+}
+
+// sortLevel keeps L0 ordered by file number (recency) and other levels by
+// smallest key.
+func (t *Tree) sortLevel(level int) {
+	files := t.levels[level]
+	if level == 0 || t.opts.SingleLevel {
+		sort.Slice(files, func(i, j int) bool { return files[i].Num < files[j].Num })
+	} else {
+		sort.Slice(files, func(i, j int) bool {
+			return util.CompareInternal(files[i].Smallest, files[j].Smallest) < 0
+		})
+	}
+}
+
+// logAndApply persists an edit then applies it (t.mu held).
+func (t *Tree) logAndApply(th *hw.Thread, e *versionEdit) error {
+	e.nextFile = t.nextFile
+	if _, err := t.manifest.Append(th, e.encode()); err != nil {
+		return err
+	}
+	t.apply(e)
+	return nil
+}
+
+// LastSeq returns the highest sequence number recorded by flushes.
+func (t *Tree) LastSeq() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastSeq
+}
+
+// NumFiles returns the file count at a level.
+func (t *Tree) NumFiles(level int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.levels[level])
+}
+
+// LevelBytes returns a level's total byte size.
+func (t *Tree) LevelBytes(level int) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int64
+	for _, f := range t.levels[level] {
+		n += int64(f.Size)
+	}
+	return n
+}
+
+// GetStats returns a copy of the activity counters.
+func (t *Tree) GetStats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats
+}
+
+// reader returns (opening if needed) the cached sstable reader for a file.
+func (t *Tree) reader(th *hw.Thread, num uint64) (*sstable.Reader, error) {
+	t.readerMu.Lock()
+	defer t.readerMu.Unlock()
+	if r, ok := t.readers[num]; ok {
+		return r, nil
+	}
+	f, err := t.fs.Open(tableName(num))
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.NewReader(f, th)
+	if err != nil {
+		return nil, err
+	}
+	t.readers[num] = r
+	return r, nil
+}
+
+func (t *Tree) dropReader(num uint64) {
+	t.readerMu.Lock()
+	delete(t.readers, num)
+	t.readerMu.Unlock()
+}
+
+// writeTables drains it into one or more SSTables capped at TableFileSize,
+// returning their metadata. Entries must arrive in internal-key order.
+func (t *Tree) writeTables(th *hw.Thread, it Iterator, dropShadowed, dropTombstones bool) ([]FileMeta, error) {
+	var out []FileMeta
+	var w *sstable.Writer
+	var num uint64
+	var lastUser []byte
+	haveLast := false
+
+	finish := func() error {
+		if w == nil {
+			return nil
+		}
+		count, smallest, largest, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		if count == 0 {
+			// Empty output: abort the file. (Cannot happen today because we
+			// only open a writer when an entry is about to be added.)
+			return nil
+		}
+		size, err := t.fs.Size(tableName(num))
+		if err != nil {
+			return err
+		}
+		out = append(out, FileMeta{
+			Num: num, Size: size, Count: count,
+			Smallest: append(util.InternalKey(nil), smallest...),
+			Largest:  append(util.InternalKey(nil), largest...),
+		})
+		w = nil
+		return nil
+	}
+
+	for ; it.Valid(); it.Next() {
+		ikey := it.Key()
+		if dropShadowed && haveLast && bytes.Equal(ikey.UserKey(), lastUser) {
+			continue // older version of a key we already emitted
+		}
+		lastUser = append(lastUser[:0], ikey.UserKey()...)
+		haveLast = true
+		if dropTombstones && ikey.Kind() == util.KindDelete {
+			continue
+		}
+		if w == nil {
+			t.mu.Lock()
+			num = t.nextFile
+			t.nextFile++
+			t.mu.Unlock()
+			capacity := t.opts.TableFileSize + t.opts.TableFileSize/2 + (256 << 10)
+			fw, err := t.fs.Create(th, tableName(num), capacity)
+			if err != nil {
+				return nil, err
+			}
+			w = sstable.NewWriter(fw, th)
+		}
+		if err := w.Add(ikey, it.Value()); err != nil {
+			return nil, err
+		}
+		if w.EstimatedSize() >= t.opts.TableFileSize {
+			if err := finish(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Flush writes the contents of it (a frozen memtable view in internal-key
+// order) into new tables at L0 — or L1 in SingleLevel mode — records maxSeq,
+// and runs any compactions that fall due. It is called from background flush
+// threads; concurrent flushes serialize on the tree lock only around version
+// installation.
+func (t *Tree) Flush(th *hw.Thread, it Iterator, maxSeq uint64) error {
+	it.SeekToFirst()
+	metas, err := t.writeTables(th, it, false, false)
+	if err != nil {
+		return err
+	}
+	level := 0
+	if t.opts.SingleLevel {
+		level = 1
+	}
+	t.mu.Lock()
+	e := &versionEdit{lastSeq: maxSeq}
+	for _, mmeta := range metas {
+		e.added = append(e.added, addedFile{level: level, meta: mmeta})
+	}
+	if maxSeq > t.lastSeq {
+		e.lastSeq = maxSeq
+	}
+	err = t.logAndApply(th, e)
+	t.stats.TablesFlushed += int64(len(metas))
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.MaybeCompact(th)
+}
+
+// FlushNoCompact installs tables like Flush but leaves any due compaction to
+// a later MaybeCompact call — engines whose flush latency must not absorb
+// compaction debt (CacheKV's spill path) use it and compact afterwards.
+func (t *Tree) FlushNoCompact(th *hw.Thread, it Iterator, maxSeq uint64) error {
+	it.SeekToFirst()
+	metas, err := t.writeTables(th, it, false, false)
+	if err != nil {
+		return err
+	}
+	level := 0
+	if t.opts.SingleLevel {
+		level = 1
+	}
+	t.mu.Lock()
+	e := &versionEdit{lastSeq: maxSeq}
+	for _, mmeta := range metas {
+		e.added = append(e.added, addedFile{level: level, meta: mmeta})
+	}
+	if maxSeq > t.lastSeq {
+		e.lastSeq = maxSeq
+	}
+	err = t.logAndApply(th, e)
+	t.stats.TablesFlushed += int64(len(metas))
+	t.mu.Unlock()
+	return err
+}
+
+// levelLimit returns the size limit for level (1-based levels).
+func (t *Tree) levelLimit(level int) int64 {
+	limit := t.opts.BaseLevelBytes
+	for i := 1; i < level; i++ {
+		limit *= t.opts.LevelMultiplier
+	}
+	return limit
+}
+
+// pickCompaction chooses the next compaction under t.mu; nil means none due.
+type compaction struct {
+	level   int // input level; outputs go to level+1
+	inputs  []*FileMeta
+	overlap []*FileMeta
+}
+
+func (t *Tree) pickCompaction() *compaction {
+	if t.opts.SingleLevel {
+		return nil
+	}
+	if len(t.levels[0]) >= t.opts.L0CompactionTrigger {
+		c := &compaction{level: 0, inputs: append([]*FileMeta(nil), t.levels[0]...)}
+		c.overlap = t.overlapping(1, c.inputs)
+		return c
+	}
+	for lvl := 1; lvl < t.opts.MaxLevels-1; lvl++ {
+		if t.levelBytesLocked(lvl) > t.levelLimit(lvl) && len(t.levels[lvl]) > 0 {
+			c := &compaction{level: lvl, inputs: []*FileMeta{t.levels[lvl][0]}}
+			c.overlap = t.overlapping(lvl+1, c.inputs)
+			return c
+		}
+	}
+	return nil
+}
+
+func (t *Tree) levelBytesLocked(level int) int64 {
+	var n int64
+	for _, f := range t.levels[level] {
+		n += int64(f.Size)
+	}
+	return n
+}
+
+// overlapping returns the files at level whose user-key ranges intersect any
+// input's range.
+func (t *Tree) overlapping(level int, inputs []*FileMeta) []*FileMeta {
+	var lo, hi []byte
+	for _, f := range inputs {
+		if lo == nil || bytes.Compare(f.Smallest.UserKey(), lo) < 0 {
+			lo = f.Smallest.UserKey()
+		}
+		if hi == nil || bytes.Compare(f.Largest.UserKey(), hi) > 0 {
+			hi = f.Largest.UserKey()
+		}
+	}
+	var out []*FileMeta
+	for _, f := range t.levels[level] {
+		if bytes.Compare(f.Largest.UserKey(), lo) < 0 || bytes.Compare(f.Smallest.UserKey(), hi) > 0 {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// MaybeCompact runs compactions until every level is within limits. It is
+// charged to the calling (background) thread.
+func (t *Tree) MaybeCompact(th *hw.Thread) error {
+	for {
+		t.mu.Lock()
+		c := t.pickCompaction()
+		t.mu.Unlock()
+		if c == nil {
+			return nil
+		}
+		if err := t.compact(th, c); err != nil {
+			return err
+		}
+	}
+}
+
+func (t *Tree) compact(th *hw.Thread, c *compaction) error {
+	all := append(append([]*FileMeta(nil), c.inputs...), c.overlap...)
+	// Newest-first ordering for the merge tie-break: higher file numbers are
+	// newer at L0; between levels, the upper level is newer.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Num > all[j].Num })
+	its := make([]Iterator, 0, len(all))
+	for _, f := range all {
+		r, err := t.reader(th, f.Num)
+		if err != nil {
+			return err
+		}
+		ti, err := r.NewIter(th)
+		if err != nil {
+			return err
+		}
+		its = append(its, ti)
+	}
+	merged := NewMergingIterator(its...)
+	merged.SeekToFirst()
+
+	// Tombstones can be dropped when no level below the output overlaps the
+	// compaction's key range.
+	outLevel := c.level + 1
+	t.mu.Lock()
+	dropTombs := true
+	for lvl := outLevel + 1; lvl < t.opts.MaxLevels; lvl++ {
+		if len(t.overlapping(lvl, all)) > 0 {
+			dropTombs = false
+			break
+		}
+	}
+	t.mu.Unlock()
+
+	metas, err := t.writeTables(th, merged, true, dropTombs)
+	if err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	e := &versionEdit{}
+	var bytesIn int64
+	for _, f := range c.inputs {
+		e.deleted = append(e.deleted, deletedFile{level: c.level, num: f.Num})
+		bytesIn += int64(f.Size)
+	}
+	for _, f := range c.overlap {
+		e.deleted = append(e.deleted, deletedFile{level: outLevel, num: f.Num})
+		bytesIn += int64(f.Size)
+	}
+	for _, mmeta := range metas {
+		e.added = append(e.added, addedFile{level: outLevel, meta: mmeta})
+	}
+	err = t.logAndApply(th, e)
+	t.stats.Compactions++
+	t.stats.CompactedBytes += bytesIn
+	t.stats.TablesCompacted += int64(len(all))
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Retire the inputs with a grace period instead of deleting them now.
+	t.graveMu.Lock()
+	var dead []uint64
+	for _, f := range all {
+		dead = append(dead, f.Num)
+	}
+	t.graveyard = append(t.graveyard, dead)
+	var toDelete []uint64
+	if len(t.graveyard) > 2 {
+		toDelete = t.graveyard[0]
+		t.graveyard = t.graveyard[1:]
+	}
+	t.graveMu.Unlock()
+	for _, num := range toDelete {
+		t.dropReader(num)
+		if err := t.fs.Delete(th, tableName(num)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get looks up ukey at snapshot seq. It returns the freshest visible value
+// and its sequence number, with deleted=true when a tombstone definitively
+// ends the search. Engines with multiple memtables compare foundSeq against
+// memory-resident candidates to pick the globally freshest version.
+func (t *Tree) Get(th *hw.Thread, ukey []byte, seq uint64) (value []byte, foundSeq uint64, found, deleted bool, err error) {
+	// A concurrent compaction can retire a file between our version snapshot
+	// and the table read; retry against a fresh snapshot when that happens.
+	for attempt := 0; ; attempt++ {
+		value, foundSeq, found, deleted, err = t.getOnce(th, ukey, seq)
+		if err == pmemfs.ErrNotFound && attempt < 5 {
+			continue
+		}
+		return
+	}
+}
+
+func (t *Tree) getOnce(th *hw.Thread, ukey []byte, seq uint64) (value []byte, foundSeq uint64, found, deleted bool, err error) {
+	ikey := util.MakeInternalKey(nil, ukey, seq, util.KindValue)
+	t.mu.RLock()
+	// L0 (and SingleLevel's L1): overlapping tables, newest first.
+	l0 := append([]*FileMeta(nil), t.levels[0]...)
+	if t.opts.SingleLevel {
+		l0 = append(l0, t.levels[1]...)
+	}
+	var rest [][]*FileMeta
+	if !t.opts.SingleLevel {
+		for lvl := 1; lvl < t.opts.MaxLevels; lvl++ {
+			rest = append(rest, append([]*FileMeta(nil), t.levels[lvl]...))
+		}
+	}
+	t.mu.RUnlock()
+
+	sort.Slice(l0, func(i, j int) bool { return l0[i].Num > l0[j].Num })
+	// Overlapping tables may each hold a version; keep the freshest.
+	var bestVal []byte
+	var bestSeq uint64
+	var bestKind util.ValueKind
+	best := false
+	for _, f := range l0 {
+		if bytes.Compare(ukey, f.Smallest.UserKey()) < 0 || bytes.Compare(ukey, f.Largest.UserKey()) > 0 {
+			continue
+		}
+		v, fseq, kind, ok, err := t.getInFile(th, f.Num, ikey)
+		if err != nil {
+			return nil, 0, false, false, err
+		}
+		if ok && (!best || fseq > bestSeq) {
+			bestVal, bestSeq, bestKind, best = v, fseq, kind, true
+		}
+	}
+	if best {
+		if bestKind == util.KindDelete {
+			return nil, bestSeq, false, true, nil
+		}
+		return bestVal, bestSeq, true, false, nil
+	}
+	for _, files := range rest {
+		// Sorted, non-overlapping: binary search the one candidate file.
+		i := sort.Search(len(files), func(i int) bool {
+			return bytes.Compare(files[i].Largest.UserKey(), ukey) >= 0
+		})
+		if i >= len(files) || bytes.Compare(ukey, files[i].Smallest.UserKey()) < 0 {
+			continue
+		}
+		v, fseq, kind, ok, err := t.getInFile(th, files[i].Num, ikey)
+		if err != nil {
+			return nil, 0, false, false, err
+		}
+		if ok {
+			if kind == util.KindDelete {
+				return nil, fseq, false, true, nil
+			}
+			return v, fseq, true, false, nil
+		}
+	}
+	return nil, 0, false, false, nil
+}
+
+func (t *Tree) getInFile(th *hw.Thread, num uint64, ikey util.InternalKey) ([]byte, uint64, util.ValueKind, bool, error) {
+	r, err := t.reader(th, num)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	return r.Get(th, ikey)
+}
+
+// GetInTable performs a directed lookup in one specific table — SLM-DB's
+// B+-tree tells the engine exactly which table holds a key.
+func (t *Tree) GetInTable(th *hw.Thread, num uint64, ukey []byte, seq uint64) ([]byte, uint64, util.ValueKind, bool, error) {
+	ikey := util.MakeInternalKey(nil, ukey, seq, util.KindValue)
+	return t.getInFile(th, num, ikey)
+}
+
+// NewIterator returns a merged iterator over every table in the tree.
+// Callers add their memtable sources on top via NewMergingIterator.
+func (t *Tree) NewIterator(th *hw.Thread) (Iterator, error) {
+	t.mu.RLock()
+	var all []*FileMeta
+	for _, files := range t.levels {
+		all = append(all, files...)
+	}
+	t.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].Num > all[j].Num })
+	its := make([]Iterator, 0, len(all))
+	for _, f := range all {
+		r, err := t.reader(th, f.Num)
+		if err != nil {
+			return nil, err
+		}
+		ti, err := r.NewIter(th)
+		if err != nil {
+			return nil, err
+		}
+		its = append(its, ti)
+	}
+	return NewMergingIterator(its...), nil
+}
+
+// TableIterator returns an iterator over one specific table (SLM-DB walks
+// individual tables when building its B+-tree index).
+func (t *Tree) TableIterator(th *hw.Thread, num uint64) (Iterator, error) {
+	r, err := t.reader(th, num)
+	if err != nil {
+		return nil, err
+	}
+	return r.NewIter(th)
+}
+
+// Files returns a snapshot of the file metadata per level (for tests,
+// tooling, and the SLM-DB engine's B+-tree construction).
+func (t *Tree) Files(level int) []FileMeta {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]FileMeta, len(t.levels[level]))
+	for i, f := range t.levels[level] {
+		out[i] = *f
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+// Package sstable implements the Sorted String Table files that form the
+// LSM-tree's storage component: data blocks holding internal-key/value
+// entries, one bloom filter block, an index block mapping separator keys to
+// data-block handles, and a fixed footer. The layout follows LevelDB; keys
+// inside a table are internal keys ordered by util.CompareInternal.
+package sstable
+
+import (
+	"fmt"
+	"sync"
+
+	"cachekv/internal/block"
+	"cachekv/internal/bloom"
+	"cachekv/internal/hw"
+	"cachekv/internal/pmemfs"
+	"cachekv/internal/util"
+)
+
+const (
+	// TargetBlockSize is the uncompressed data block size threshold.
+	TargetBlockSize = 4 << 10
+	footerLen       = 40
+	tableMagic      = 0xdb4775248b80fb57
+)
+
+// handle locates a block within the file.
+type handle struct{ offset, length uint64 }
+
+func (h handle) encode(dst []byte) []byte {
+	dst = util.PutUvarint(dst, h.offset)
+	return util.PutUvarint(dst, h.length)
+}
+
+func decodeHandle(src []byte) (handle, int, error) {
+	off, n1, err := util.Uvarint(src)
+	if err != nil {
+		return handle{}, 0, err
+	}
+	length, n2, err := util.Uvarint(src[n1:])
+	if err != nil {
+		return handle{}, 0, err
+	}
+	return handle{off, length}, n1 + n2, nil
+}
+
+// Writer builds one SSTable into a pmemfs file. Entries must be added in
+// ascending internal-key order.
+type Writer struct {
+	w       *pmemfs.Writer
+	th      *hw.Thread
+	data    *block.Builder
+	index   *block.Builder
+	filter  *bloom.Filter
+	keys    [][]byte // user keys for the filter
+	pending bool     // an index entry awaits the next block's first key
+	pendKey []byte   // last key of the finished block
+	pendH   handle
+	first   []byte
+	last    []byte
+	count   int
+	err     error
+}
+
+// NewWriter wraps a pmemfs writer. th is the thread charged for the I/O.
+func NewWriter(w *pmemfs.Writer, th *hw.Thread) *Writer {
+	return &Writer{
+		w:      w,
+		th:     th,
+		data:   block.NewBuilder(),
+		index:  block.NewBuilder(),
+		filter: bloom.New(10),
+	}
+}
+
+// Add appends an internal key and value.
+func (t *Writer) Add(ikey util.InternalKey, value []byte) error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.pending {
+		// The separator only needs to sort >= last block's keys and < this
+		// key; using the last key verbatim is always correct.
+		t.index.Add(t.pendKey, t.pendH.encode(nil))
+		t.pending = false
+	}
+	if t.first == nil {
+		t.first = append([]byte(nil), ikey...)
+	}
+	t.last = append(t.last[:0], ikey...)
+	t.keys = append(t.keys, append([]byte(nil), ikey.UserKey()...))
+	t.data.Add(ikey, value)
+	t.count++
+	if t.data.EstimatedSize() >= TargetBlockSize {
+		t.flushBlock()
+	}
+	return t.err
+}
+
+func (t *Writer) flushBlock() {
+	if t.data.Empty() {
+		return
+	}
+	contents := t.data.Finish()
+	off := t.w.Offset()
+	if err := t.w.Append(t.th, contents); err != nil {
+		t.err = err
+		return
+	}
+	t.pendH = handle{off, uint64(len(contents))}
+	t.pendKey = append([]byte(nil), t.last...)
+	t.pending = true
+	t.data.Reset()
+}
+
+// Finish flushes remaining blocks, writes the filter, index and footer, and
+// seals the file. It returns the number of entries and the table's key range.
+func (t *Writer) Finish() (count int, smallest, largest util.InternalKey, err error) {
+	if t.err != nil {
+		return 0, nil, nil, t.err
+	}
+	t.flushBlock()
+	if t.pending {
+		t.index.Add(t.pendKey, t.pendH.encode(nil))
+		t.pending = false
+	}
+	// Filter block.
+	filterData := t.filter.Build(t.keys)
+	filterH := handle{t.w.Offset(), uint64(len(filterData))}
+	if err := t.w.Append(t.th, filterData); err != nil {
+		return 0, nil, nil, err
+	}
+	// Index block.
+	indexData := t.index.Finish()
+	indexH := handle{t.w.Offset(), uint64(len(indexData))}
+	if err := t.w.Append(t.th, indexData); err != nil {
+		return 0, nil, nil, err
+	}
+	// Footer: filter handle, index handle, padding, magic.
+	footer := make([]byte, 0, footerLen)
+	footer = filterH.encode(footer)
+	footer = indexH.encode(footer)
+	for len(footer) < footerLen-8 {
+		footer = append(footer, 0)
+	}
+	footer = util.PutFixed64(footer, tableMagic)
+	if err := t.w.Append(t.th, footer); err != nil {
+		return 0, nil, nil, err
+	}
+	if err := t.w.Finish(t.th); err != nil {
+		return 0, nil, nil, err
+	}
+	return t.count, t.first, t.last, nil
+}
+
+// Abort abandons the table file.
+func (t *Writer) Abort() { t.w.Abort(t.th) }
+
+// EstimatedSize returns bytes written so far plus the buffered block.
+func (t *Writer) EstimatedSize() uint64 {
+	return t.w.Offset() + uint64(t.data.EstimatedSize())
+}
+
+// Reader serves lookups and scans from one sealed SSTable. A small
+// DRAM-resident block cache (LevelDB keeps an 8 MiB one) absorbs repeated
+// reads of hot data blocks; cached hits cost a DRAM access instead of PMem
+// media reads.
+type Reader struct {
+	f      *pmemfs.File
+	index  []byte
+	filter []byte
+
+	cacheMu sync.Mutex
+	cache   map[uint64][]byte
+	fifo    []uint64
+}
+
+const blockCacheEntries = 128
+
+// readBlock returns the data block at h, through the block cache.
+func (r *Reader) readBlock(th *hw.Thread, h handle) ([]byte, error) {
+	r.cacheMu.Lock()
+	if b, ok := r.cache[h.offset]; ok {
+		r.cacheMu.Unlock()
+		th.ChargeDRAM(1)
+		return b, nil
+	}
+	r.cacheMu.Unlock()
+	contents := make([]byte, h.length)
+	if err := r.f.ReadAt(th, h.offset, contents); err != nil {
+		return nil, err
+	}
+	r.cacheMu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[uint64][]byte)
+	}
+	if _, ok := r.cache[h.offset]; !ok {
+		for len(r.cache) >= blockCacheEntries && len(r.fifo) > 0 {
+			delete(r.cache, r.fifo[0])
+			r.fifo = r.fifo[1:]
+		}
+		r.cache[h.offset] = contents
+		r.fifo = append(r.fifo, h.offset)
+	}
+	r.cacheMu.Unlock()
+	return contents, nil
+}
+
+// NewReader opens a table, reading its footer, index and filter blocks.
+func NewReader(f *pmemfs.File, th *hw.Thread) (*Reader, error) {
+	size := f.Size()
+	if size < footerLen {
+		return nil, fmt.Errorf("sstable: file too small (%d bytes)", size)
+	}
+	footer := make([]byte, footerLen)
+	if err := f.ReadAt(th, size-footerLen, footer); err != nil {
+		return nil, err
+	}
+	if util.Fixed64(footer[footerLen-8:]) != tableMagic {
+		return nil, fmt.Errorf("sstable: bad magic")
+	}
+	filterH, n, err := decodeHandle(footer)
+	if err != nil {
+		return nil, err
+	}
+	indexH, _, err := decodeHandle(footer[n:])
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f}
+	r.filter = make([]byte, filterH.length)
+	if err := f.ReadAt(th, filterH.offset, r.filter); err != nil {
+		return nil, err
+	}
+	r.index = make([]byte, indexH.length)
+	if err := f.ReadAt(th, indexH.offset, r.index); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func icmp(a, b []byte) int { return util.CompareInternal(a, b) }
+
+// Get looks up the freshest entry for ikey's user key at or below ikey's
+// sequence number. It returns the value, the entry's sequence number and
+// kind, and whether anything was found.
+func (r *Reader) Get(th *hw.Thread, ikey util.InternalKey) ([]byte, uint64, util.ValueKind, bool, error) {
+	if !bloom.MayContain(r.filter, ikey.UserKey()) {
+		return nil, 0, 0, false, nil
+	}
+	idx, err := block.NewIter(r.index)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	idx.Seek(ikey, icmp)
+	if !idx.Valid() {
+		return nil, 0, 0, false, idx.Err()
+	}
+	h, _, err := decodeHandle(idx.Value())
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	contents, err := r.readBlock(th, h)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	it, err := block.NewIter(contents)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	it.Seek(ikey, icmp)
+	if !it.Valid() {
+		return nil, 0, 0, false, it.Err()
+	}
+	found := util.InternalKey(it.Key())
+	if string(found.UserKey()) != string(ikey.UserKey()) {
+		return nil, 0, 0, false, nil
+	}
+	val := append([]byte(nil), it.Value()...)
+	return val, found.Seq(), found.Kind(), true, nil
+}
+
+// Iter is a two-level iterator over the whole table.
+type Iter struct {
+	r    *Reader
+	th   *hw.Thread
+	idx  *block.Iter
+	data *block.Iter
+	err  error
+}
+
+// NewIter returns an unpositioned table iterator.
+func (r *Reader) NewIter(th *hw.Thread) (*Iter, error) {
+	idx, err := block.NewIter(r.index)
+	if err != nil {
+		return nil, err
+	}
+	return &Iter{r: r, th: th, idx: idx}, nil
+}
+
+func (it *Iter) loadData() {
+	it.data = nil
+	if !it.idx.Valid() {
+		return
+	}
+	h, _, err := decodeHandle(it.idx.Value())
+	if err != nil {
+		it.err = err
+		return
+	}
+	contents, err := it.r.readBlock(it.th, h)
+	if err != nil {
+		it.err = err
+		return
+	}
+	d, err := block.NewIter(contents)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.data = d
+}
+
+// SeekToFirst positions at the table's first entry.
+func (it *Iter) SeekToFirst() {
+	it.idx.SeekToFirst()
+	it.loadData()
+	if it.data != nil {
+		it.data.SeekToFirst()
+	}
+	it.skipForward()
+}
+
+// Seek positions at the first entry >= ikey.
+func (it *Iter) Seek(ikey util.InternalKey) {
+	it.idx.Seek(ikey, icmp)
+	it.loadData()
+	if it.data != nil {
+		it.data.Seek(ikey, icmp)
+	}
+	it.skipForward()
+}
+
+// Next advances to the following entry.
+func (it *Iter) Next() {
+	if it.data == nil {
+		return
+	}
+	it.data.Next()
+	it.skipForward()
+}
+
+func (it *Iter) skipForward() {
+	for it.err == nil && (it.data == nil || !it.data.Valid()) {
+		if it.data != nil && it.data.Err() != nil {
+			it.err = it.data.Err()
+			return
+		}
+		it.idx.Next()
+		if !it.idx.Valid() {
+			it.data = nil
+			return
+		}
+		it.loadData()
+		if it.data != nil {
+			it.data.SeekToFirst()
+		}
+	}
+}
+
+// Valid reports whether the iterator is on an entry.
+func (it *Iter) Valid() bool {
+	return it.err == nil && it.data != nil && it.data.Valid()
+}
+
+// Err returns any error encountered.
+func (it *Iter) Err() error { return it.err }
+
+// Key returns the current internal key.
+func (it *Iter) Key() util.InternalKey { return util.InternalKey(it.data.Key()) }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.data.Value() }

@@ -1,0 +1,77 @@
+package util
+
+import "hash/crc32"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcMaskDelta matches LevelDB's CRC masking constant; masking stored CRCs
+// guards against computing a CRC over bytes that themselves contain a CRC.
+const crcMaskDelta = 0xa282ead8
+
+// CRC computes the Castagnoli CRC32 of b.
+func CRC(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// MaskCRC rotates and offsets a raw CRC before storage.
+func MaskCRC(c uint32) uint32 { return ((c >> 15) | (c << 17)) + crcMaskDelta }
+
+// UnmaskCRC inverts MaskCRC.
+func UnmaskCRC(m uint32) uint32 {
+	c := m - crcMaskDelta
+	return (c >> 17) | (c << 15)
+}
+
+// Hash32 is LevelDB's Murmur-flavoured 32-bit hash, used by the bloom filter
+// and for shard selection.
+func Hash32(b []byte, seed uint32) uint32 {
+	const m = 0xc6a4a793
+	h := seed ^ uint32(len(b))*m
+	for len(b) >= 4 {
+		h += Fixed32(b)
+		h *= m
+		h ^= h >> 16
+		b = b[4:]
+	}
+	switch len(b) {
+	case 3:
+		h += uint32(b[2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(b[1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(b[0])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}
+
+// Hash64 is a 64-bit FNV-1a variant with an avalanche finish, used where a
+// wider hash is needed (YCSB key scrambling, XPBuffer tags in tests).
+func Hash64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Mix64 finalizes a uint64 with the SplitMix64 avalanche; useful for turning
+// counters into well-distributed pseudo-random values deterministically.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,69 @@
+package util
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternalKeyRoundTrip(t *testing.T) {
+	f := func(ukey []byte, seq uint64, del bool) bool {
+		seq &= MaxSequence
+		kind := KindValue
+		if del {
+			kind = KindDelete
+		}
+		ik := MakeInternalKey(nil, ukey, seq, kind)
+		return bytes.Equal(ik.UserKey(), ukey) && ik.Seq() == seq && ik.Kind() == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareInternalOrdering(t *testing.T) {
+	mk := func(k string, seq uint64, kind ValueKind) InternalKey {
+		return MakeInternalKey(nil, []byte(k), seq, kind)
+	}
+	// Same user key: higher sequence sorts first.
+	if CompareInternal(mk("a", 10, KindValue), mk("a", 5, KindValue)) >= 0 {
+		t.Fatal("higher seq should sort before lower seq")
+	}
+	// Different user keys dominate sequence.
+	if CompareInternal(mk("a", 1, KindValue), mk("b", 100, KindValue)) >= 0 {
+		t.Fatal("user key order must dominate")
+	}
+	// Same key and seq: delete (kind 0) sorts after put (kind 1).
+	if CompareInternal(mk("a", 7, KindValue), mk("a", 7, KindDelete)) >= 0 {
+		t.Fatal("at equal seq, KindValue must sort before KindDelete")
+	}
+	// Reflexivity.
+	if CompareInternal(mk("a", 7, KindValue), mk("a", 7, KindValue)) != 0 {
+		t.Fatal("equal keys must compare equal")
+	}
+}
+
+func TestTrailerPacking(t *testing.T) {
+	f := func(seq uint64, del bool) bool {
+		seq &= MaxSequence
+		kind := KindValue
+		if del {
+			kind = KindDelete
+		}
+		s, k := UnpackTrailer(PackTrailer(seq, kind))
+		return s == seq && k == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternalKeyString(t *testing.T) {
+	ik := MakeInternalKey(nil, []byte("k"), 3, KindValue)
+	if got := ik.String(); got != `"k"@3#1` {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := InternalKey([]byte("abc")).String(); got != `badikey("abc")` {
+		t.Fatalf("short key String() = %q", got)
+	}
+}

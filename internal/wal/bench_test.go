@@ -1,0 +1,22 @@
+package wal
+
+import (
+	"testing"
+
+	"cachekv/internal/hw"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	m := hw.NewMachine(hw.Config{PMemBytes: 1 << 30})
+	th := m.NewThread(0)
+	region := m.Alloc("wal", 512<<20, 0)
+	w := NewWriter(m, region, th)
+	rec := make([]byte, 100)
+	b.SetBytes(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(th, rec); err != nil {
+			w.Reset(th)
+		}
+	}
+}

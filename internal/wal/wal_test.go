@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cachekv/internal/hw"
+)
+
+func newLog(t *testing.T, size uint64) (*hw.Machine, hw.Region, *hw.Thread) {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{PMemBytes: 128 << 20})
+	return m, m.Alloc("wal", size, 0), m.NewThread(0)
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	w := NewWriter(m, region, th)
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, bytes.Repeat([]byte("x"), i%50)))
+		want = append(want, rec)
+		if _, err := w.Append(th, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(m, region)
+	i := 0
+	for {
+		rec, ok := r.Next(th)
+		if !ok {
+			break
+		}
+		if !bytes.Equal(rec, want[i]) {
+			t.Fatalf("record %d mismatch: %q", i, rec)
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("replayed %d of %d records", i, len(want))
+	}
+}
+
+func TestLargeRecordFragments(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	w := NewWriter(m, region, th)
+	// Far larger than one 32 KiB block: forces FIRST/MIDDLE/LAST chunks.
+	big := bytes.Repeat([]byte("0123456789abcdef"), 8192) // 128 KiB
+	if _, err := w.Append(th, big); err != nil {
+		t.Fatal(err)
+	}
+	small := []byte("after-big")
+	if _, err := w.Append(th, small); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(m, region)
+	rec, ok := r.Next(th)
+	if !ok || !bytes.Equal(rec, big) {
+		t.Fatalf("big record corrupted (ok=%v len=%d)", ok, len(rec))
+	}
+	rec, ok = r.Next(th)
+	if !ok || !bytes.Equal(rec, small) {
+		t.Fatal("record after big one lost")
+	}
+}
+
+func TestEmptyRegionReplaysNothing(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	r := NewReader(m, region)
+	if _, ok := r.Next(th); ok {
+		t.Fatal("uninitialized region replayed a record")
+	}
+}
+
+func TestResetTruncates(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	w := NewWriter(m, region, th)
+	w.Append(th, []byte("old-1"))
+	w.Append(th, []byte("old-2"))
+	w.Reset(th)
+	w.Append(th, []byte("new-1"))
+	r := NewReader(m, region)
+	rec, ok := r.Next(th)
+	if !ok || string(rec) != "new-1" {
+		t.Fatalf("first record after reset = %q, %v", rec, ok)
+	}
+	if rec, ok := r.Next(th); ok {
+		t.Fatalf("stale record survived reset: %q", rec)
+	}
+}
+
+func TestBlockBoundaryPadding(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	w := NewWriter(m, region, th)
+	// Fill to within a few bytes of the block boundary so the next record
+	// must pad and start a fresh block.
+	fill := make([]byte, BlockSize-headerLen-3-headerLen)
+	w.Append(th, fill)
+	marker := []byte("boundary-record")
+	w.Append(th, marker)
+	r := NewReader(m, region)
+	if rec, ok := r.Next(th); !ok || len(rec) != len(fill) {
+		t.Fatal("fill record corrupted")
+	}
+	rec, ok := r.Next(th)
+	if !ok || !bytes.Equal(rec, marker) {
+		t.Fatalf("boundary record lost: %q, %v", rec, ok)
+	}
+}
+
+func TestFullLog(t *testing.T) {
+	m, region, th := newLog(t, BlockSize) // one block only
+	w := NewWriter(m, region, th)
+	if _, err := w.Append(th, make([]byte, BlockSize)); err != ErrFull {
+		t.Fatalf("oversized append = %v", err)
+	}
+}
+
+func TestCorruptTailStopsReplay(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	w := NewWriter(m, region, th)
+	w.Append(th, []byte("good-1"))
+	off2, _ := w.Append(th, []byte("good-2"))
+	w.Append(th, []byte("good-3"))
+	// Corrupt record 2's payload directly in PMem.
+	m.PMem.StoreRaw(region.Addr+off2+headerLen, []byte{0xFF})
+	r := NewReader(m, region)
+	rec, ok := r.Next(th)
+	if !ok || string(rec) != "good-1" {
+		t.Fatal("first record should replay")
+	}
+	if _, ok := r.Next(th); ok {
+		t.Fatal("replay continued past corruption")
+	}
+}
+
+func TestReplayAll(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	w := NewWriter(m, region, th)
+	for i := 0; i < 10; i++ {
+		w.Append(th, []byte{byte(i)})
+	}
+	var got []byte
+	err := NewReader(m, region).ReplayAll(th, func(rec []byte) error {
+		got = append(got, rec...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("ReplayAll visited %d records", len(got))
+	}
+	// Error propagation.
+	err = NewReader(m, region).ReplayAll(th, func(rec []byte) error {
+		return fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("ReplayAll swallowed the callback error")
+	}
+}
+
+func TestSurvivesCrash(t *testing.T) {
+	m, region, th := newLog(t, 1<<20)
+	w := NewWriter(m, region, th)
+	w.Append(th, []byte("durable"))
+	m.Crash()
+	m.Recover()
+	r := NewReader(m, region)
+	rec, ok := r.Next(th)
+	if !ok || string(rec) != "durable" {
+		t.Fatalf("WAL record lost across crash: %q %v", rec, ok)
+	}
+}
