@@ -89,6 +89,42 @@ type Options struct {
 	TableSizeKB    int // LSM SSTable target size
 	L0Trigger      int // L0 compaction trigger
 	BaseLevelMB    int // L1 size limit
+
+	// BlockCacheMB sizes the shared DRAM block cache over SSTable blocks,
+	// shared by every table reader (default 8 MiB). Negative disables it.
+	BlockCacheMB int
+	// FilterBitsPerKey sizes the memory component's DRAM-side negative
+	// filters (default 10 bits/key). Negative disables them. The filters are
+	// volatile and rebuilt during recovery, so crash semantics are unchanged.
+	FilterBitsPerKey int
+}
+
+// validate rejects nonsense configurations with a descriptive error rather
+// than letting a negative size wrap around in a uint64 conversion downstream.
+// BlockCacheMB and FilterBitsPerKey are exempt: negative is their documented
+// "disable" value.
+func (o Options) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"PMemMB", o.PMemMB},
+		{"Cores", o.Cores},
+		{"PoolMB", o.PoolMB},
+		{"SubMemTableKB", o.SubMemTableKB},
+		{"FlushThreads", o.FlushThreads},
+		{"SyncThreshold", o.SyncThreshold},
+		{"ImmZoneMB", o.ImmZoneMB},
+		{"FSMB", o.FSMB},
+		{"TableSizeKB", o.TableSizeKB},
+		{"L0Trigger", o.L0Trigger},
+		{"BaseLevelMB", o.BaseLevelMB},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("cachekv: Options.%s must not be negative (got %d); use 0 for the default", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // DB is an open store plus its simulated platform.
@@ -103,6 +139,9 @@ type DB struct {
 
 // Open builds a fresh simulated platform and opens the chosen engine on it.
 func Open(opts Options) (*DB, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	cfg := hw.DefaultConfig()
 	if opts.PMemMB > 0 {
 		cfg.PMemBytes = uint64(opts.PMemMB) << 20
@@ -164,6 +203,15 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread) (kvstore.DB, error) 
 		}
 		if opts.BaseLevelMB > 0 {
 			o.LSM.BaseLevelBytes = int64(opts.BaseLevelMB) << 20
+		}
+		switch {
+		case opts.BlockCacheMB > 0:
+			o.LSM.BlockCacheBytes = int64(opts.BlockCacheMB) << 20
+		case opts.BlockCacheMB < 0:
+			o.LSM.BlockCacheBytes = -1 // disabled
+		}
+		if opts.FilterBitsPerKey != 0 {
+			o.FilterBitsPerKey = opts.FilterBitsPerKey
 		}
 		switch opts.Engine {
 		case EnginePCSM:
@@ -257,7 +305,8 @@ func (db *DB) SimulateCrash() (*DB, error) {
 	return openOn(db.machine, db.opts)
 }
 
-// Metrics is a snapshot of the simulated hardware counters.
+// Metrics is a snapshot of the simulated hardware counters plus the engine's
+// read-path accelerator counters (zero for engines without them).
 type Metrics struct {
 	WriteHitRatio      float64 // XPBuffer combining ratio (paper Fig. 4)
 	WriteAmplification float64 // media bytes written / bytes stored
@@ -265,13 +314,24 @@ type Metrics struct {
 	MediaReadBytes     int64
 	CacheHits          int64
 	CacheMisses        int64
+
+	// Shared SSTable block cache (CacheKV-family engines).
+	BlockCacheHits     int64
+	BlockCacheMisses   int64
+	BlockCacheHitRatio float64
+
+	// Memory-component negative filters: probes issued and how many rejected
+	// (each rejection skips a sub-skiplist search and, for active
+	// sub-MemTables, the trigger-1 lazy sync).
+	FilterProbes    int64
+	FilterNegatives int64
 }
 
 // Metrics returns the platform's cumulative hardware counters.
 func (db *DB) Metrics() Metrics {
 	hwSnap := db.machine.PMem.Snapshot()
 	cs := db.machine.Cache.Stats()
-	return Metrics{
+	m := Metrics{
 		WriteHitRatio:      hwSnap.WriteHitRatio(),
 		WriteAmplification: hwSnap.WriteAmplification(),
 		MediaWriteBytes:    hwSnap.MediaWriteB,
@@ -279,6 +339,16 @@ func (db *DB) Metrics() Metrics {
 		CacheHits:          cs.Hits,
 		CacheMisses:        cs.Misses,
 	}
+	if bs, ok := db.inner.(interface{ BlockCacheStats() (hits, misses int64) }); ok {
+		m.BlockCacheHits, m.BlockCacheMisses = bs.BlockCacheStats()
+		if total := m.BlockCacheHits + m.BlockCacheMisses; total > 0 {
+			m.BlockCacheHitRatio = float64(m.BlockCacheHits) / float64(total)
+		}
+	}
+	if fs, ok := db.inner.(interface{ FilterStats() (probes, negatives int64) }); ok {
+		m.FilterProbes, m.FilterNegatives = fs.FilterStats()
+	}
+	return m
 }
 
 // Session is a simulated thread interacting with the store. Operations

@@ -117,6 +117,9 @@ func main() {
 			m := db.Metrics()
 			fmt.Printf("write hit ratio: %.1f%%  amplification: %.2fx  media written: %d KiB\n",
 				m.WriteHitRatio*100, m.WriteAmplification, m.MediaWriteBytes>>10)
+			fmt.Printf("filter probes: %d  negatives: %d  block cache: %d hit / %d miss (%.1f%%)\n",
+				m.FilterProbes, m.FilterNegatives,
+				m.BlockCacheHits, m.BlockCacheMisses, m.BlockCacheHitRatio*100)
 			fmt.Printf("session virtual time: %.3f ms\n", float64(s.VirtualNanos())/1e6)
 		case "quit", "exit":
 			db.Close()

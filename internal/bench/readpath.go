@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cachekv/internal/kvstore"
+)
+
+// ReadPathConfig describes one read-path benchmark run: a uniform load phase
+// followed by read-only measurement phases (YCSB-C style) under uniform and
+// zipfian key distributions — the paper's Exp#4 read-heavy corner, reduced to
+// the two distributions that stress the memory-component filters and the
+// block cache differently.
+type ReadPathConfig struct {
+	Records   int64 `json:"records"`
+	Ops       int64 `json:"ops"`
+	Threads   int   `json:"threads"`
+	ValueSize int   `json:"value_size"`
+}
+
+// DefaultReadPathConfig mirrors the paper's YCSB parameters (64 B values)
+// at experiment scale.
+func DefaultReadPathConfig() ReadPathConfig {
+	return ReadPathConfig{Records: 200000, Ops: 200000, Threads: 4, ValueSize: 64}
+}
+
+// ReadPathResult is one engine x workload measurement in virtual time.
+type ReadPathResult struct {
+	Engine         string  `json:"engine"`
+	Workload       string  `json:"workload"`
+	Ops            int64   `json:"ops"`
+	Threads        int     `json:"threads"`
+	VirtualNsPerOp float64 `json:"virtual_ns_per_op"`
+	KopsPerSec     float64 `json:"kops_per_sec"`
+	NotFound       int64   `json:"not_found"`
+
+	// Read-acceleration counters (zero for engines without them).
+	FilterProbes       int64   `json:"filter_probes,omitempty"`
+	FilterNegatives    int64   `json:"filter_negatives,omitempty"`
+	BlockCacheHits     int64   `json:"block_cache_hits,omitempty"`
+	BlockCacheMisses   int64   `json:"block_cache_misses,omitempty"`
+	BlockCacheHitRatio float64 `json:"block_cache_hit_ratio,omitempty"`
+}
+
+// ReadPathReport is the machine-readable payload written to
+// BENCH_readpath.json: the current tree's numbers, optionally alongside a
+// baseline run for before/after comparison.
+type ReadPathReport struct {
+	Config   ReadPathConfig   `json:"config"`
+	Results  []ReadPathResult `json:"results"`
+	Baseline *ReadPathReport  `json:"baseline,omitempty"`
+
+	// ImprovementPct maps "engine/workload" to the percentage reduction in
+	// virtual ns/op versus the baseline (positive = faster than baseline).
+	ImprovementPct map[string]float64 `json:"improvement_pct,omitempty"`
+}
+
+// readPathWorkloads are the measured phases: 100% reads, uniform and zipfian.
+func readPathWorkloads(cfg ReadPathConfig) []Workload {
+	return []Workload{
+		{
+			Name:      "ycsbc-uniform",
+			Keys:      UniformKeys{N: cfg.Records},
+			ValueSize: cfg.ValueSize,
+			Ops:       cfg.Ops,
+			Threads:   cfg.Threads,
+			Mix:       ReadOnly,
+			Seed:      101,
+		},
+		{
+			Name:      "ycsbc-zipfian",
+			Keys:      NewZipfian(cfg.Records),
+			ValueSize: cfg.ValueSize,
+			Ops:       cfg.Ops,
+			Threads:   cfg.Threads,
+			Mix:       ReadOnly,
+			Seed:      202,
+		},
+	}
+}
+
+// RunReadPath loads cfg.Records records into each engine and measures the
+// read-only phases, returning one result per engine per workload.
+func RunReadPath(engines []EngineKind, cfg ReadPathConfig) (*ReadPathReport, error) {
+	report := &ReadPathReport{Config: cfg}
+	for _, kind := range engines {
+		ec := DefaultEngineConfig()
+		ec.DataBytes = uint64(cfg.Records) * uint64(cfg.ValueSize+40)
+		m := ec.NewMachine()
+		th := m.NewThread(0)
+		db, err := ec.Open(kind, m, th)
+		if err != nil {
+			return nil, fmt.Errorf("readpath open %s: %w", kind, err)
+		}
+		r := NewRunner(m, db)
+		load := Workload{
+			Name: "load", Keys: LoadKeys{}, ValueSize: cfg.ValueSize,
+			Ops: cfg.Records, Threads: cfg.Threads, Mix: WriteOnly, Seed: 7,
+		}
+		if _, err := r.Run(load); err != nil {
+			return nil, fmt.Errorf("readpath load %s: %w", kind, err)
+		}
+		// No settle: YCSB runs its measured phase straight after the load, so
+		// the memory component is populated and the read path must fan out
+		// across it — the cost the filters exist to remove.
+		for _, w := range readPathWorkloads(cfg) {
+			before := snapshotReadCounters(db)
+			res, err := r.Run(w)
+			if err != nil {
+				return nil, fmt.Errorf("readpath %s/%s: %w", kind, w.Name, err)
+			}
+			rr := ReadPathResult{
+				Engine:   res.Engine,
+				Workload: w.Name,
+				Ops:      res.Ops,
+				Threads:  res.Threads,
+				// Per-op virtual latency: virtual wall time is divided across
+				// Threads concurrent sessions.
+				VirtualNsPerOp: float64(res.ElapsedNs) * float64(res.Threads) / float64(res.Ops),
+				KopsPerSec:     res.KopsPerSec,
+				NotFound:       res.NotFound,
+			}
+			after := snapshotReadCounters(db)
+			rr.FilterProbes = after.filterProbes - before.filterProbes
+			rr.FilterNegatives = after.filterNegatives - before.filterNegatives
+			rr.BlockCacheHits = after.cacheHits - before.cacheHits
+			rr.BlockCacheMisses = after.cacheMisses - before.cacheMisses
+			if t := rr.BlockCacheHits + rr.BlockCacheMisses; t > 0 {
+				rr.BlockCacheHitRatio = float64(rr.BlockCacheHits) / float64(t)
+			}
+			report.Results = append(report.Results, rr)
+		}
+		if err := db.Close(th); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// readCounters is a point-in-time snapshot of the read-acceleration counters
+// an engine may expose.
+type readCounters struct {
+	filterProbes, filterNegatives int64
+	cacheHits, cacheMisses        int64
+}
+
+// Engines advertise read-acceleration counters through these optional
+// interfaces; engines without them report zeros.
+type filterStatser interface {
+	FilterStats() (probes, negatives int64)
+}
+
+type blockCacheStatser interface {
+	BlockCacheStats() (hits, misses int64)
+}
+
+func snapshotReadCounters(db kvstore.DB) readCounters {
+	var rc readCounters
+	if fs, ok := db.(filterStatser); ok {
+		rc.filterProbes, rc.filterNegatives = fs.FilterStats()
+	}
+	if cs, ok := db.(blockCacheStatser); ok {
+		rc.cacheHits, rc.cacheMisses = cs.BlockCacheStats()
+	}
+	return rc
+}
+
+// AttachBaseline embeds a prior report (typically the pre-change seed run)
+// and computes the per-series improvement in virtual ns/op.
+func (r *ReadPathReport) AttachBaseline(base *ReadPathReport) {
+	r.Baseline = base
+	r.ImprovementPct = map[string]float64{}
+	baseBy := map[string]ReadPathResult{}
+	for _, b := range base.Results {
+		baseBy[b.Engine+"/"+b.Workload] = b
+	}
+	for _, cur := range r.Results {
+		key := cur.Engine + "/" + cur.Workload
+		if b, ok := baseBy[key]; ok && b.VirtualNsPerOp > 0 {
+			r.ImprovementPct[key] = (b.VirtualNsPerOp - cur.VirtualNsPerOp) / b.VirtualNsPerOp * 100
+		}
+	}
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly commits.
+func (r *ReadPathReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReadPathReport reads a previously written report (the baseline).
+func LoadReadPathReport(path string) (*ReadPathReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ReadPathReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -102,6 +102,15 @@ func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
 		th.InPhase(hw.PhaseAppend, func() {
 			e.m.Cache.Write(th.Clock, s.dataAddr()+tail, enc, e.poolPart)
 		})
+		// Cover every batch key in the slot's negative filter before the
+		// commit CAS, mirroring write(): a failed CAS only leaves spurious
+		// false-positive bits.
+		if f := s.filter.Load(); f != nil {
+			th.ChargeDRAM(1)
+			for _, op := range b.ops {
+				f.Add(op.key)
+			}
+		}
 		// The transaction's commit point: counter += len(ops), tail += need,
 		// in one atomic compare-and-swap.
 		if !e.pool.casHdr(th, s, hdr, packHdr(count+uint64(len(b.ops)), stateAllocated, tail+need)) {

@@ -33,6 +33,11 @@ type Options struct {
 	LazyIndex          bool // false = update the sub-skiplist on every write (PCSM)
 	SkiplistCompaction bool // false = never build the global skiplist (PCSM[+LIU])
 
+	// FilterBitsPerKey sizes the DRAM-side negative filters kept per
+	// sub-MemTable slot, per sub-ImmMemTable, and over the global skiplist
+	// (10, LevelDB's bloom budget). Negative disables the filters.
+	FilterBitsPerKey int
+
 	FSBytes       uint64 // PMem file-layer capacity for SSTables (256 MiB)
 	ManifestBytes uint64 // manifest log capacity (4 MiB)
 	LSM           lsm.Options
@@ -51,6 +56,7 @@ func DefaultOptions() Options {
 		MissThreshold:      8,
 		LazyIndex:          true,
 		SkiplistCompaction: true,
+		FilterBitsPerKey:   10,
 		FSBytes:            256 << 20,
 		ManifestBytes:      4 << 20,
 	}
@@ -79,6 +85,9 @@ func (o Options) withDefaults() Options {
 	if o.MissThreshold == 0 {
 		o.MissThreshold = d.MissThreshold
 	}
+	if o.FilterBitsPerKey == 0 {
+		o.FilterBitsPerKey = d.FilterBitsPerKey
+	}
 	if o.FSBytes == 0 {
 		o.FSBytes = d.FSBytes
 	}
@@ -97,6 +106,13 @@ type Stats struct {
 	Spills      atomic.Int64 // L0 spills
 	Compactions atomic.Int64 // sub-skiplist compaction rounds
 	ReadSyncs   atomic.Int64 // trigger-1 lazy syncs performed by readers
+
+	// Memory-component negative-filter effectiveness: probes against slot,
+	// imm-table, and global filters, and how many rejected (each rejection
+	// skips a sub-skiplist search, and for active slots also the trigger-1
+	// lazy sync).
+	FilterProbes    atomic.Int64
+	FilterNegatives atomic.Int64
 }
 
 // Engine is the CacheKV store.
@@ -148,10 +164,14 @@ var (
 // state.
 func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	opts = opts.withDefaults()
+	filterBits := opts.FilterBitsPerKey
+	if filterBits < 0 {
+		filterBits = 0 // filters disabled
+	}
 	e := &Engine{
 		m:         m,
 		opts:      opts,
-		mem:       newMemState(),
+		mem:       newMemState(expectedSlotKeys(opts.ImmZoneBytes), filterBits),
 		flushCh:   make(chan *slot, 1024),
 		syncCh:    make(chan syncReq, 4096),
 		compactCh: make(chan struct{}, 64),
@@ -208,6 +228,7 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.pool.filterBits = filterBits
 	}
 
 	e.pool.sealFn = func(s *slot) {
@@ -290,6 +311,17 @@ func (e *Engine) Name() string {
 // GetStats returns the engine's counters.
 func (e *Engine) GetStats() *Stats { return &e.stats }
 
+// FilterStats reports memory-component negative-filter probes and rejections.
+func (e *Engine) FilterStats() (probes, negatives int64) {
+	return e.stats.FilterProbes.Load(), e.stats.FilterNegatives.Load()
+}
+
+// BlockCacheStats reports the shared block cache's hit/miss counters.
+func (e *Engine) BlockCacheStats() (hits, misses int64) {
+	st := e.tree.CacheStats()
+	return st.Hits, st.Misses
+}
+
 // Tree exposes the storage component (tests and tooling).
 func (e *Engine) Tree() *lsm.Tree { return e.tree }
 
@@ -371,6 +403,14 @@ func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind) er
 		th.InPhase(hw.PhaseAppend, func() {
 			e.m.Cache.Write(th.Clock, s.dataAddr()+tail, enc, e.poolPart)
 		})
+		// Record the key in the slot's negative filter BEFORE the commit CAS:
+		// any entry a reader can observe as committed is already covered, so a
+		// filter miss proves absence. A failed CAS leaves a spurious bit — a
+		// false positive, never a false negative.
+		if f := s.filter.Load(); f != nil {
+			th.ChargeDRAM(1)
+			f.Add(key)
+		}
 		if !e.pool.casHdr(th, s, hdr, packHdr(count+1, stateAllocated, tail+need)) {
 			// Another thread on this core raced us; retry cleanly.
 			continue
@@ -414,8 +454,19 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 	snapshot := e.seq.Load()
 	var res kvstore.UserGetResult
 
-	// 1. Active sub-MemTables: trigger-1 lazy sync then search each.
+	// 1. Active sub-MemTables: probe the slot's negative filter first — a
+	// rejection skips both the trigger-1 lazy sync and the sub-skiplist
+	// search (sound: write() adds to the filter before the commit CAS, so
+	// the filter always leads the lazy index).
 	for _, s := range e.pool.snapshotActive() {
+		if f := s.filter.Load(); f != nil {
+			th.ChargeDRAM(1)
+			e.stats.FilterProbes.Add(1)
+			if !f.MayContain(key) {
+				e.stats.FilterNegatives.Add(1)
+				continue
+			}
+		}
 		if e.opts.LazyIndex && needsSync(s) {
 			th.InPhase(hw.PhaseIndex, func() {
 				if e.syncSlot(th, s) > 0 {
@@ -438,6 +489,7 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 	// tables; uncompacted ones are searched individually.
 	e.mem.mu.RLock()
 	global := e.mem.global
+	globalFilter := e.mem.globalFilter // swapped together with global under mu
 	var uncompacted []*immTable
 	for _, t := range e.mem.imms {
 		if !t.compacted {
@@ -446,19 +498,42 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 	}
 	e.mem.mu.RUnlock()
 	if e.opts.SkiplistCompaction {
-		gv, ok := global.Get(key, func(visits int) {
-			th.Clock.Advance(int64(visits) * (e.m.Costs.DRAMAccess + e.m.Costs.SkiplistVisit) / 8)
-		})
-		if ok {
-			gseq, kind, addr := decodeGlobalVal(gv)
-			if gseq <= snapshot {
-				if _, val, okF := e.fetchEntry(th, addr, 0, cache.DefaultPartition); okF {
-					res.Consider(val, gseq, kind)
+		searchGlobal := true
+		if globalFilter != nil {
+			th.ChargeDRAM(1)
+			e.stats.FilterProbes.Add(1)
+			// Sound: compactInto adds to the filter before inserting into the
+			// list, so any key present in global is present in its filter.
+			if !globalFilter.MayContain(key) {
+				e.stats.FilterNegatives.Add(1)
+				searchGlobal = false
+			}
+		}
+		if searchGlobal {
+			gv, ok := global.Get(key, func(visits int) {
+				th.Clock.Advance(int64(visits) * (e.m.Costs.DRAMAccess + e.m.Costs.SkiplistVisit) / 8)
+			})
+			if ok {
+				gseq, kind, addr := decodeGlobalVal(gv)
+				if gseq <= snapshot {
+					if _, val, okF := e.fetchEntry(th, addr, 0, cache.DefaultPartition); okF {
+						res.Consider(val, gseq, kind)
+					}
 				}
 			}
 		}
 	}
 	for _, t := range uncompacted {
+		// The imm filter is the slot's filter handed over at flush: it covers
+		// every committed key of exactly this table.
+		if f := t.filter; f != nil {
+			th.ChargeDRAM(1)
+			e.stats.FilterProbes.Add(1)
+			if !f.MayContain(key) {
+				e.stats.FilterNegatives.Add(1)
+				continue
+			}
+		}
 		if v, fseq, kind, ok := e.searchList(th, t.list, t.base, cache.DefaultPartition, key, snapshot); ok {
 			res.Consider(v, fseq, kind)
 		}
@@ -492,7 +567,12 @@ func (e *Engine) Scan(th *hw.Thread, start []byte, limit int, fn func(key, value
 	snapshot := e.seq.Load()
 	var its []lsm.Iterator
 	for _, s := range e.pool.snapshotActive() {
-		e.syncSlot(th, s) // scans need complete indexes
+		// Scans need complete indexes; bill the sync like Get's trigger-1.
+		th.InPhase(hw.PhaseIndex, func() {
+			if e.syncSlot(th, s) > 0 {
+				e.stats.ReadSyncs.Add(1)
+			}
+		})
 		s.syncMu.Lock()
 		list := s.list
 		s.syncMu.Unlock()

@@ -6,6 +6,7 @@ import (
 
 	"cachekv/internal/hw"
 	"cachekv/internal/lsm"
+	"cachekv/internal/memfilter"
 	"cachekv/internal/skiplist"
 	"cachekv/internal/util"
 )
@@ -22,6 +23,7 @@ type immTable struct {
 	count      uint64
 	maxSeq     uint64
 	list       *skiplist.List
+	filter     *memfilter.Filter // negative filter over the table's user keys
 	compacted  bool
 	indexDoneV int64 // virtual time the index thread finished this table's sync
 }
@@ -45,15 +47,35 @@ const (
 )
 
 // memState is the engine's DRAM view of the memory component: flushed tables
-// plus the global skiplist. Swapped wholesale at L0 spill.
+// plus the global skiplist and its negative filter. Swapped wholesale at L0
+// spill.
 type memState struct {
-	mu     sync.RWMutex
-	imms   []*immTable
-	global *skiplist.List
+	mu           sync.RWMutex
+	imms         []*immTable
+	global       *skiplist.List
+	globalFilter *memfilter.Filter // covers every key merged into global
+
+	// Filter sizing for replacement filters installed at spill.
+	expGlobalKeys int
+	filterBits    int
 }
 
-func newMemState() *memState {
-	return &memState{global: skiplist.New(nil, 0xC0117EC7)}
+func newMemState(expGlobalKeys, filterBits int) *memState {
+	return &memState{
+		global:        skiplist.New(nil, 0xC0117EC7),
+		globalFilter:  newFilter(expGlobalKeys, filterBits),
+		expGlobalKeys: expGlobalKeys,
+		filterBits:    filterBits,
+	}
+}
+
+// newFilter builds a negative filter, or nil when filters are disabled
+// (bitsPerKey <= 0). Every probe site tolerates nil as "may contain".
+func newFilter(expectedKeys, bitsPerKey int) *memfilter.Filter {
+	if bitsPerKey <= 0 {
+		return nil
+	}
+	return memfilter.New(expectedKeys, bitsPerKey)
 }
 
 // flusher is the background copy-based flush loop: one goroutine per
@@ -219,6 +241,7 @@ func (e *Engine) flushOne(s *slot) {
 			count:      count,
 			maxSeq:     maxSeq,
 			list:       s.list,
+			filter:     s.filter.Load(), // covers exactly this slot's committed keys
 			indexDoneV: indexDoneV,
 		}
 		s.list = nil
@@ -343,6 +366,7 @@ func (e *Engine) spillLocked(th *hw.Thread) {
 	}
 	e.mem.imms = rest
 	e.mem.global = skiplist.New(nil, 0xC0117EC7)
+	e.mem.globalFilter = newFilter(e.mem.expGlobalKeys, e.mem.filterBits)
 	e.mem.mu.Unlock()
 
 	for {
@@ -402,6 +426,7 @@ func (e *Engine) runCompaction(th *hw.Thread) {
 	e.mem.mu.RLock()
 	var todo []*immTable
 	global := e.mem.global
+	globalFilter := e.mem.globalFilter
 	for _, t := range e.mem.imms {
 		if !t.compacted {
 			todo = append(todo, t)
@@ -409,7 +434,7 @@ func (e *Engine) runCompaction(th *hw.Thread) {
 	}
 	e.mem.mu.RUnlock()
 	for _, t := range todo {
-		e.compactInto(th, global, t)
+		e.compactInto(th, global, globalFilter, t)
 		e.mem.mu.Lock()
 		// The global list may have been swapped by a spill while we merged;
 		// only mark compacted if the table is still present and the list is

@@ -5,6 +5,7 @@ import (
 	"cachekv/internal/hw/cache"
 	"cachekv/internal/kvstore"
 	"cachekv/internal/lsm"
+	"cachekv/internal/memfilter"
 	"cachekv/internal/skiplist"
 	"cachekv/internal/util"
 )
@@ -228,9 +229,11 @@ func decodeGlobalVal(b []byte) (seq uint64, kind util.ValueKind, addr uint64) {
 // compactInto merges one flushed table's sub-skiplist into the global
 // skiplist, keeping only the freshest version per user key — the
 // sub-skiplist compaction of Section III-D, which removes invalid nodes so
-// later reads walk one list instead of many. Runs on the background index
-// thread's clock.
-func (e *Engine) compactInto(th *hw.Thread, global *skiplist.List, t *immTable) int {
+// later reads walk one list instead of many. Every inserted key is also
+// recorded in the global negative filter (keys skipped as stale are already
+// present from a fresher insert), keeping the filter sound for the
+// compacted-view read path. Runs on the background index thread's clock.
+func (e *Engine) compactInto(th *hw.Thread, global *skiplist.List, globalFilter *memfilter.Filter, t *immTable) int {
 	it := t.list.NewIterator()
 	it.SeekToFirst()
 	merged := 0
@@ -243,6 +246,11 @@ func (e *Engine) compactInto(th *hw.Thread, global *skiplist.List, t *immTable) 
 		ukey := append([]byte(nil), ik.UserKey()...)
 		cur, ok := global.Get(ukey, charge)
 		if !ok || func() bool { s, _, _ := decodeGlobalVal(cur); return ik.Seq() > s }() {
+			// Filter first, list second: a reader that finds the key in the
+			// list must also find it in the filter.
+			if globalFilter != nil {
+				globalFilter.Add(ukey)
+			}
 			global.Insert(ukey, encodeGlobalVal(ik.Seq(), ik.Kind(), t.base+off), charge)
 			merged++
 		}

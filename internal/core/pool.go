@@ -24,6 +24,7 @@ import (
 
 	"cachekv/internal/hw"
 	"cachekv/internal/hw/cache"
+	"cachekv/internal/memfilter"
 	"cachekv/internal/skiplist"
 	"cachekv/internal/util"
 )
@@ -73,6 +74,12 @@ type slot struct {
 	listCount uint64 // entries reflected in the sub-skiplist
 	listTail  uint64 // data offset the sub-skiplist has consumed
 
+	// filter is the DRAM-side negative filter over this slot's user keys.
+	// Writers Add before the commit CAS, so a committed entry is always
+	// covered and a negative probe soundly skips both the sub-skiplist
+	// search and the trigger-1 lazy sync. Replaced wholesale at acquire.
+	filter atomic.Pointer[memfilter.Filter]
+
 	owner    atomic.Int32 // core the slot is assigned to (-1 when free)
 	sealedAt atomic.Int64 // virtual time the slot became immutable
 	freeAt   atomic.Int64 // virtual time its copy-based flush completes
@@ -118,6 +125,10 @@ type pool struct {
 	// aborted is set when the engine fails: acquire stops blocking and
 	// returns nil so callers can surface the error instead of hanging.
 	aborted atomic.Bool
+
+	// filterBits is the bits-per-key budget for per-slot negative filters
+	// (installed by the engine right after construction).
+	filterBits int
 
 	// freesSinceMiss counts slot releases with no allocation miss; a long
 	// quiet stretch triggers the inverse elasticity move (merging free
@@ -298,6 +309,7 @@ func (p *pool) acquire(th *hw.Thread, core int, listSeed uint64) *slot {
 			best.listCount = 0
 			best.listTail = 0
 			best.syncMu.Unlock()
+			best.filter.Store(newFilter(expectedSlotKeys(best.dataCap()), p.filterBits))
 			best.owner.Store(int32(core))
 			p.writeHdr(th, best, packHdr(0, stateAllocated, 0))
 			p.coreSlot[core].Store(int32(best.idx))
@@ -513,4 +525,19 @@ func (p *pool) numSlots() int {
 
 func icmp(a, b []byte) int {
 	return util.CompareInternal(util.InternalKey(a), util.InternalKey(b))
+}
+
+// minEntryBytes is the conservative (small) entry-size estimate used to size
+// per-table negative filters: 8-byte length header plus an internal key and
+// no value, rounded to the 8-byte append alignment.
+const minEntryBytes = 48
+
+// expectedSlotKeys estimates how many entries a data region of cap bytes can
+// hold, for filter sizing. Overestimating only widens the filter.
+func expectedSlotKeys(dataCap uint64) int {
+	n := dataCap / minEntryBytes
+	if n < 16 {
+		n = 16
+	}
+	return int(n)
 }

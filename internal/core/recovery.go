@@ -5,6 +5,7 @@ import (
 
 	"cachekv/internal/hw"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/memfilter"
 	"cachekv/internal/skiplist"
 	"cachekv/internal/util"
 )
@@ -26,6 +27,7 @@ func (e *Engine) recover(poolRegion hw.Region, th *hw.Thread) error {
 		return err
 	}
 	p.partition = e.poolPart
+	p.filterBits = e.mem.filterBits
 	e.pool = p
 
 	// Step 1: ImmZone scan.
@@ -44,8 +46,8 @@ func (e *Engine) recover(poolRegion hw.Region, th *hw.Thread) error {
 			break
 		}
 		base := addr + immZoneHdrSize
-		list, scanned, hiSeq := e.rebuildList(th, base, dataLen, count)
-		t := &immTable{base: base, dataLen: dataLen, count: scanned, maxSeq: maxSeq, list: list}
+		list, filter, scanned, hiSeq := e.rebuildList(th, base, dataLen, count)
+		t := &immTable{base: base, dataLen: dataLen, count: scanned, maxSeq: maxSeq, list: list, filter: filter}
 		if hiSeq > maxSeq {
 			t.maxSeq = hiSeq
 		}
@@ -63,7 +65,7 @@ func (e *Engine) recover(poolRegion hw.Region, th *hw.Thread) error {
 			continue
 		}
 		if tail > 0 {
-			list, scanned, hiSeq := e.rebuildList(th, s.dataAddr(), tail, count)
+			list, filter, scanned, hiSeq := e.rebuildList(th, s.dataAddr(), tail, count)
 			dst, err := e.immArena.Alloc(immZoneHdrSize+tail, immZoneAlign)
 			if err != nil {
 				// The zone cannot hold the pre-crash tables plus the pool's
@@ -88,7 +90,7 @@ func (e *Engine) recover(poolRegion hw.Region, th *hw.Thread) error {
 			// are table-relative, so the list transfers unchanged.
 			e.mem.imms = append(e.mem.imms, &immTable{
 				base: dst + immZoneHdrSize, dataLen: tail, count: scanned,
-				maxSeq: hiSeq, list: list,
+				maxSeq: hiSeq, list: list, filter: filter,
 			})
 			e.bumpSeq(hiSeq)
 		}
@@ -98,7 +100,7 @@ func (e *Engine) recover(poolRegion hw.Region, th *hw.Thread) error {
 	// Step 3: rebuild the global skiplist.
 	if e.opts.SkiplistCompaction {
 		for _, t := range e.mem.imms {
-			e.compactInto(th, e.mem.global, t)
+			e.compactInto(th, e.mem.global, e.mem.globalFilter, t)
 			t.compacted = true
 		}
 	}
@@ -107,9 +109,16 @@ func (e *Engine) recover(poolRegion hw.Region, th *hw.Thread) error {
 
 // rebuildList reconstructs one table's sub-skiplist by scanning its data
 // region; it stops after count entries or at the first torn encoding, and
-// returns the list, the entries recovered, and the highest sequence seen.
-func (e *Engine) rebuildList(th *hw.Thread, base, limit uint64, count uint64) (*skiplist.List, uint64, uint64) {
+// returns the list, a freshly built negative filter covering every recovered
+// key (the DRAM filters are volatile, so recovery rebuilds them before the
+// engine serves reads), the entries recovered, and the highest sequence seen.
+func (e *Engine) rebuildList(th *hw.Thread, base, limit uint64, count uint64) (*skiplist.List, *memfilter.Filter, uint64, uint64) {
 	list := skiplist.New(icmp, base|1)
+	expected := int(count)
+	if expected < 16 {
+		expected = 16
+	}
+	filter := newFilter(expected, e.mem.filterBits)
 	var off, scanned, hiSeq uint64
 	for scanned < count && off+8 <= limit {
 		var hdr [8]byte
@@ -124,6 +133,9 @@ func (e *Engine) rebuildList(th *hw.Thread, base, limit uint64, count uint64) (*
 		if err != nil {
 			break
 		}
+		if filter != nil {
+			filter.Add(ik.UserKey())
+		}
 		list.Insert(ik, util.PutFixed64(nil, off), nil)
 		if s := ik.Seq(); s > hiSeq {
 			hiSeq = s
@@ -131,7 +143,7 @@ func (e *Engine) rebuildList(th *hw.Thread, base, limit uint64, count uint64) (*
 		off = align8(off + uint64(n))
 		scanned++
 	}
-	return list, scanned, hiSeq
+	return list, filter, scanned, hiSeq
 }
 
 func (e *Engine) bumpSeq(s uint64) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"cachekv/internal/blockcache"
 	"cachekv/internal/hw"
 	"cachekv/internal/pmemfs"
 	"cachekv/internal/sstable"
@@ -22,6 +23,12 @@ type Options struct {
 	MaxLevels           int    // total levels including L0 (7)
 	TableFileSize       uint64 // target SSTable size (2 MiB)
 	SingleLevel         bool   // SLM-DB mode: everything lives in one sorted-ish level, no compaction
+
+	// BlockCacheBytes sizes the shared DRAM block cache fronting SSTable
+	// data-block reads (8 MiB, LevelDB's default); negative disables it.
+	BlockCacheBytes int64
+	// BlockCacheShards is the cache's lock-shard count (16).
+	BlockCacheShards int
 }
 
 func (o Options) withDefaults() Options {
@@ -39,6 +46,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TableFileSize == 0 {
 		o.TableFileSize = 2 << 20
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+	if o.BlockCacheShards == 0 {
+		o.BlockCacheShards = 16
 	}
 	return o
 }
@@ -68,6 +81,9 @@ type Tree struct {
 	readerMu sync.Mutex
 	readers  map[uint64]*sstable.Reader
 
+	// blockCache is shared by every reader; nil when disabled.
+	blockCache *blockcache.Cache
+
 	// graveyard delays physical deletion of compacted-away files by two
 	// compaction cycles so in-flight readers and iterators (which run
 	// lock-free against a version snapshot) never lose their extents.
@@ -87,6 +103,7 @@ func Open(m *hw.Machine, fs *pmemfs.FS, manifestRegion hw.Region, opts Options, 
 		manifestRegion: manifestRegion,
 		nextFile:       1,
 		readers:        make(map[uint64]*sstable.Reader),
+		blockCache:     blockcache.New(opts.BlockCacheBytes, opts.BlockCacheShards),
 	}
 	// Replay the previous manifest, if any.
 	r := wal.NewReader(m, manifestRegion)
@@ -223,6 +240,7 @@ func (t *Tree) reader(th *hw.Thread, num uint64) (*sstable.Reader, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.SetCache(t.blockCache, num)
 	t.readers[num] = r
 	return r, nil
 }
@@ -231,7 +249,12 @@ func (t *Tree) dropReader(num uint64) {
 	t.readerMu.Lock()
 	delete(t.readers, num)
 	t.readerMu.Unlock()
+	t.blockCache.EvictFile(num)
 }
+
+// CacheStats returns the shared block cache's counters (zeros when the cache
+// is disabled).
+func (t *Tree) CacheStats() blockcache.Stats { return t.blockCache.Stats() }
 
 // writeTables drains it into one or more SSTables capped at TableFileSize,
 // returning their metadata. Entries must arrive in internal-key order.

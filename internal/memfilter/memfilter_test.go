@@ -1,0 +1,122 @@
+package memfilter
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f := New(100, 10)
+	for i := 0; i < 100; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("key%03d", i))) {
+			t.Fatalf("empty filter claimed to contain key%03d", i)
+		}
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	const n = 5000
+	f := New(n, 10)
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("user%06d", i*7)))
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("user%06d", i*7))
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %s", k)
+		}
+	}
+	if f.Count() != n {
+		t.Fatalf("Count = %d, want %d", f.Count(), n)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 5000
+	f := New(n, 10)
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("in%06d", i)))
+	}
+	fp := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		// Keys lexically inside the fences but never added.
+		if f.MayContain([]byte(fmt.Sprintf("in%06dx", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / trials; rate > 0.05 {
+		t.Fatalf("false-positive rate %.3f exceeds 5%% at 10 bits/key", rate)
+	}
+}
+
+func TestKeyFences(t *testing.T) {
+	f := New(16, 10)
+	f.Add([]byte("mmm"))
+	f.Add([]byte("qqq"))
+	if f.MayContain([]byte("aaa")) {
+		t.Fatal("key below the min fence not rejected")
+	}
+	if f.MayContain([]byte("zzz")) {
+		t.Fatal("key above the max fence not rejected")
+	}
+	if !f.MayContain([]byte("mmm")) || !f.MayContain([]byte("qqq")) {
+		t.Fatal("false negative for an added key")
+	}
+}
+
+func TestMinimumSizing(t *testing.T) {
+	f := New(1, 1)
+	if f.SizeBytes() < 512/8 {
+		t.Fatalf("filter smaller than the 512-bit floor: %d bytes", f.SizeBytes())
+	}
+	f.Add([]byte("only"))
+	if !f.MayContain([]byte("only")) {
+		t.Fatal("false negative on a tiny filter")
+	}
+}
+
+// TestConcurrentAddProbe exercises the lock-free paths under the race
+// detector: concurrent writers must never cause a false negative for a key
+// that was fully added before the probe.
+func TestConcurrentAddProbe(t *testing.T) {
+	const writers = 8
+	const perWriter = 2000
+	f := New(writers*perWriter, 10)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+				f.Add(k)
+				if !f.MayContain(k) {
+					t.Errorf("false negative for %s immediately after Add", k)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers on foreign keys: any answer is fine, but no panics
+	// or races.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.MayContain([]byte(fmt.Sprintf("probe%d-%06d", r, i)))
+			}
+		}(r)
+	}
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+			if !f.MayContain(k) {
+				t.Fatalf("false negative for %s after all writers finished", k)
+			}
+		}
+	}
+}

@@ -7,9 +7,9 @@ package sstable
 
 import (
 	"fmt"
-	"sync"
 
 	"cachekv/internal/block"
+	"cachekv/internal/blockcache"
 	"cachekv/internal/bloom"
 	"cachekv/internal/hw"
 	"cachekv/internal/pmemfs"
@@ -160,48 +160,39 @@ func (t *Writer) EstimatedSize() uint64 {
 	return t.w.Offset() + uint64(t.data.EstimatedSize())
 }
 
-// Reader serves lookups and scans from one sealed SSTable. A small
-// DRAM-resident block cache (LevelDB keeps an 8 MiB one) absorbs repeated
-// reads of hot data blocks; cached hits cost a DRAM access instead of PMem
-// media reads.
+// Reader serves lookups and scans from one sealed SSTable. Data-block reads
+// go through a shared DRAM block cache owned by the LSM tree (LevelDB keeps
+// an 8 MiB one): cached hits cost a DRAM access instead of PMem media reads,
+// and because the cache outlives the Reader, hot blocks survive reader churn
+// across compactions. A nil cache disables caching.
 type Reader struct {
 	f      *pmemfs.File
 	index  []byte
 	filter []byte
 
-	cacheMu sync.Mutex
-	cache   map[uint64][]byte
-	fifo    []uint64
+	cache   *blockcache.Cache
+	cacheID uint64 // file number namespacing this reader's blocks
 }
 
-const blockCacheEntries = 128
+// SetCache attaches the shared block cache; id must be unique per file (the
+// LSM tree uses the file number, which is never reused).
+func (r *Reader) SetCache(c *blockcache.Cache, id uint64) {
+	r.cache = c
+	r.cacheID = id
+}
 
-// readBlock returns the data block at h, through the block cache.
+// readBlock returns the data block at h, through the shared block cache.
 func (r *Reader) readBlock(th *hw.Thread, h handle) ([]byte, error) {
-	r.cacheMu.Lock()
-	if b, ok := r.cache[h.offset]; ok {
-		r.cacheMu.Unlock()
+	key := blockcache.Key{File: r.cacheID, Offset: h.offset}
+	if b, ok := r.cache.Get(key); ok {
 		th.ChargeDRAM(1)
 		return b, nil
 	}
-	r.cacheMu.Unlock()
 	contents := make([]byte, h.length)
 	if err := r.f.ReadAt(th, h.offset, contents); err != nil {
 		return nil, err
 	}
-	r.cacheMu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[uint64][]byte)
-	}
-	if _, ok := r.cache[h.offset]; !ok {
-		for len(r.cache) >= blockCacheEntries && len(r.fifo) > 0 {
-			delete(r.cache, r.fifo[0])
-			r.fifo = r.fifo[1:]
-		}
-		r.cache[h.offset] = contents
-		r.fifo = append(r.fifo, h.offset)
-	}
-	r.cacheMu.Unlock()
+	r.cache.Put(key, contents)
 	return contents, nil
 }
 
