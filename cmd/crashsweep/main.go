@@ -1,0 +1,184 @@
+// Command crashsweep explores crash schedules against the simulated eADR/ADR
+// platform: it numbers every persistence-relevant memory operation a scripted
+// workload generates (stores, non-temporal streams, flushes — each carrying
+// its fence), re-runs the workload crashing at chosen points, applies the
+// persistence-domain rule plus an optional media fault, recovers the engine,
+// and checks the durability oracle. Every failure prints a reproduction
+// tuple; re-running with -engine/-domain/-seed/-ops/-crash-at/-fault replays
+// the identical schedule.
+//
+// Bounded sweep (the CI shape):
+//
+//	crashsweep -schedules 12 -faults none,torn,flip
+//
+// Exhaustive sweep over every crash point (the acceptance run):
+//
+//	crashsweep -schedules 0
+//
+// Replay one schedule:
+//
+//	crashsweep -engine cachekv -domain eadr -crash-at 46 -fault flip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"cachekv/internal/faultinject"
+	"cachekv/internal/hw/cache"
+)
+
+func main() {
+	engines := flag.String("engines", "all", "comma-separated engine list, or 'all'")
+	engine := flag.String("engine", "", "single engine for -crash-at replay mode")
+	domains := flag.String("domains", "adr,eadr", "persistence domains to sweep")
+	domain := flag.String("domain", "", "single domain for -crash-at replay mode")
+	ops := flag.Int("ops", 200, "workload length (70% put / 15% delete / 15% get)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	schedules := flag.Int("schedules", 12, "crash points sampled per engine/domain/fault; 0 = exhaustive")
+	scheduleSeed := flag.Uint64("schedule-seed", 7, "seed for bounded-sweep crash-point sampling")
+	faults := flag.String("faults", "none", "fault modes: none, torn (256B-torn write), flip (post-crash bit flip)")
+	crashAt := flag.Int64("crash-at", 0, "replay a single schedule crashing at this event index (requires -engine and -domain)")
+	fault := flag.String("fault", "none", "fault mode for -crash-at replay")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent schedule runs")
+	verbose := flag.Bool("v", false, "log per-configuration event totals")
+	flag.Parse()
+
+	if *crashAt > 0 {
+		os.Exit(replay(*engine, *domain, *seed, *ops, *crashAt, *fault))
+	}
+
+	specs, err := parseEngines(*engines)
+	if err != nil {
+		fatal(err)
+	}
+	doms, err := parseDomains(*domains)
+	if err != nil {
+		fatal(err)
+	}
+	flts, err := parseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := faultinject.SweepConfig{
+		Engines:            specs,
+		Domains:            doms,
+		NumOps:             *ops,
+		WorkloadSeed:       *seed,
+		SchedulesPerConfig: *schedules,
+		ScheduleSeed:       *scheduleSeed,
+		Faults:             flts,
+		Parallel:           *parallel,
+	}
+	if *verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	stats, err := faultinject.Sweep(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("crashsweep: %d schedules, %d failures\n", stats.Runs, len(stats.Failures))
+	for _, r := range stats.Failures {
+		fmt.Printf("FAIL {%s}\n", r.Schedule)
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		fmt.Printf("  reproduce: crashsweep -engine %q -domain %s -seed %d -ops %d -crash-at %d -fault %s\n",
+			r.Schedule.Engine, strings.ToLower(r.Schedule.Domain.String()), r.Schedule.WorkloadSeed,
+			r.Schedule.NumOps, r.Schedule.CrashAt, r.Schedule.Fault)
+	}
+	if len(stats.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func replay(engine, domain string, seed uint64, ops int, crashAt int64, fault string) int {
+	if engine == "" || domain == "" {
+		fatal(fmt.Errorf("replay mode needs -engine and -domain"))
+	}
+	spec, ok := faultinject.FindEngine(engine)
+	if !ok {
+		fatal(fmt.Errorf("unknown engine %q", engine))
+	}
+	doms, err := parseDomains(domain)
+	if err != nil {
+		fatal(err)
+	}
+	flts, err := parseFaults(fault)
+	if err != nil {
+		fatal(err)
+	}
+	wl := faultinject.NewWorkload(seed, ops)
+	r := faultinject.RunSchedule(spec, doms[0], wl, crashAt, flts[0])
+	fmt.Printf("schedule {%s}: frozen=%v inflight=%d events=%d streamhash=%#x\n",
+		r.Schedule, r.Frozen, r.Inflight, r.Events, r.StreamHash)
+	if r.RecoveryRefused != nil {
+		fmt.Printf("recovery refused (acceptable under fault=flip): %v\n", r.RecoveryRefused)
+	}
+	if !r.Failed() {
+		fmt.Println("PASS")
+		return 0
+	}
+	for _, v := range r.Violations {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+	return 1
+}
+
+func parseEngines(list string) ([]faultinject.EngineSpec, error) {
+	if list == "all" {
+		return faultinject.AllEngines(), nil
+	}
+	var specs []faultinject.EngineSpec
+	for _, name := range strings.Split(list, ",") {
+		spec, ok := faultinject.FindEngine(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown engine %q", name)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func parseDomains(list string) ([]cache.Domain, error) {
+	var doms []cache.Domain
+	for _, name := range strings.Split(list, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "adr":
+			doms = append(doms, cache.ADR)
+		case "eadr":
+			doms = append(doms, cache.EADR)
+		default:
+			return nil, fmt.Errorf("unknown domain %q (want adr or eadr)", name)
+		}
+	}
+	return doms, nil
+}
+
+func parseFaults(list string) ([]faultinject.Fault, error) {
+	var flts []faultinject.Fault
+	for _, name := range strings.Split(list, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "none":
+			flts = append(flts, faultinject.FaultNone)
+		case "torn":
+			flts = append(flts, faultinject.FaultTorn)
+		case "flip":
+			flts = append(flts, faultinject.FaultFlip)
+		default:
+			return nil, fmt.Errorf("unknown fault %q (want none, torn, or flip)", name)
+		}
+	}
+	return flts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crashsweep:", err)
+	os.Exit(1)
+}

@@ -115,6 +115,13 @@ func (e *Engine) recover(poolRegion hw.Region, th *hw.Thread) error {
 func (e *Engine) rebuildList(th *hw.Thread, base, limit uint64, count uint64) (*skiplist.List, *memfilter.Filter, uint64, uint64) {
 	list := skiplist.New(icmp, base|1)
 	expected := int(count)
+	// The header's counter is untrusted input here: media corruption (or a
+	// torn header write) can inflate it arbitrarily, and it must not size
+	// allocations. Clamp to the densest packing the data region could
+	// physically hold — the scan below stops at the first torn entry anyway.
+	if maxEntries := int(limit/16) + 1; expected > maxEntries || expected < 0 {
+		expected = maxEntries
+	}
 	if expected < 16 {
 		expected = 16
 	}

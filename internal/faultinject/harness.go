@@ -1,0 +1,364 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/cache"
+	"cachekv/internal/kvstore"
+)
+
+// Schedule identifies one crash run completely; re-running a schedule
+// reproduces the same event stream and the same verdict. This tuple is what
+// failure reports print.
+type Schedule struct {
+	Engine       string
+	Domain       cache.Domain
+	WorkloadSeed uint64
+	NumOps       int
+	CrashAt      int64 // 1-based index of the suppressed/torn event
+	Fault        Fault
+}
+
+// String renders the reproduction line for a schedule.
+func (s Schedule) String() string {
+	return fmt.Sprintf("engine=%s domain=%s seed=%d ops=%d crashAt=%d fault=%s",
+		s.Engine, s.Domain, s.WorkloadSeed, s.NumOps, s.CrashAt, s.Fault)
+}
+
+// Result is the outcome of one schedule run.
+type Result struct {
+	Schedule   Schedule
+	Frozen     bool  // crash point was reached during the workload
+	Events     int64 // events numbered before the run ended
+	Inflight   int   // index of the op the crash interrupted (NumOps if none)
+	StreamHash uint64
+	// RecoveryRefused is set when reopening after a FaultFlip corruption
+	// failed with a clean error — an acceptable outcome for that mode.
+	RecoveryRefused error
+	Violations      []string
+	Recovered       map[string]string // post-recovery present keys
+	// FilterProbes/FilterNegatives capture the recovered engine's negative-
+	// filter counters after the oracle's probes, when the engine exposes
+	// them (CacheKV family). The oracle's Gets all go through the rebuilt
+	// filters, so a zero probe count would mean the filters were not
+	// exercised.
+	FilterProbes    int64
+	FilterNegatives int64
+}
+
+// Failed reports whether the run violated the oracle.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Err summarizes a failed result for test output.
+func (r *Result) Err() error {
+	if !r.Failed() {
+		return nil
+	}
+	return fmt.Errorf("schedule {%s} violated the oracle (%d violations; first: %s)",
+		r.Schedule, len(r.Violations), r.Violations[0])
+}
+
+// scheduleSeed derives the RNG seed for a schedule's fault-mode choices from
+// the reproduction tuple, so torn cuts and bit flips replay exactly.
+func scheduleSeed(workloadSeed uint64, crashAt int64, fault Fault) uint64 {
+	return fnvMix(fnvOffset, workloadSeed, uint64(crashAt), uint64(fault))
+}
+
+type haltable interface{ Halt() }
+
+func applyOp(db kvstore.DB, th *hw.Thread, op Op) error {
+	switch op.Kind {
+	case OpPut:
+		return db.Put(th, []byte(op.Key), []byte(op.Value))
+	case OpDelete:
+		return db.Delete(th, []byte(op.Key))
+	default:
+		_, err := db.Get(th, []byte(op.Key))
+		if err == kvstore.ErrNotFound {
+			err = nil
+		}
+		return err
+	}
+}
+
+// CountEvents runs wl against a fresh engine with a counting-only injector
+// and returns the total number of crash-point events the workload generates
+// plus the stream hash. Sweeps use it to size the crash-point space; the
+// determinism tests compare hashes across runs.
+func CountEvents(spec EngineSpec, domain cache.Domain, wl *Workload) (int64, uint64, error) {
+	m := NewMachine(domain)
+	th := m.NewThread(0)
+	db, err := spec.Open(m, th)
+	if err != nil {
+		return 0, 0, fmt.Errorf("open %s: %w", spec.Name, err)
+	}
+	inj := NewInjector()
+	inj.Arm(0, FaultNone, 0)
+	m.SetMemGate(inj.Gate)
+	wth := m.NewThread(1)
+	for _, op := range wl.Ops {
+		if err := applyOp(db, wth, op); err != nil {
+			return 0, 0, fmt.Errorf("%s: workload op failed: %w", spec.Name, err)
+		}
+	}
+	m.SetMemGate(nil)
+	_ = db.Close(th)
+	return inj.Events(), inj.StreamHash(), nil
+}
+
+// RunSchedule executes one crash schedule end to end: open a fresh engine,
+// arm the injector, run the workload until the crash point freezes the
+// platform, halt the engine, apply the persistence-domain rule and any media
+// fault, recover, and check the oracle.
+func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int64, fault Fault) *Result {
+	res := &Result{
+		Schedule: Schedule{
+			Engine:       spec.Name,
+			Domain:       domain,
+			WorkloadSeed: wl.Seed,
+			NumOps:       len(wl.Ops),
+			CrashAt:      crashAt,
+			Fault:        fault,
+		},
+		Inflight: len(wl.Ops),
+	}
+	m := NewMachine(domain)
+	th := m.NewThread(0)
+	db, err := spec.Open(m, th)
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("initial open failed: %v", err))
+		return res
+	}
+
+	inj := NewInjector()
+	inj.Arm(crashAt, fault, scheduleSeed(wl.Seed, crashAt, fault))
+	m.SetMemGate(inj.Gate)
+	wth := m.NewThread(1)
+	for i, op := range wl.Ops {
+		if err := applyOp(db, wth, op); err != nil && !inj.Frozen() {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("workload op %d failed before the crash point: %v", i, err))
+			break
+		}
+		if inj.Frozen() {
+			// The crash interrupted op i: some of its events may have taken
+			// effect, its acknowledgement never completed.
+			res.Inflight = i
+			break
+		}
+	}
+	res.Frozen = inj.Frozen()
+	res.Events = inj.Events()
+
+	// Power failure: preempt the engine, apply the domain rule while
+	// partitions are still pinned (the eADR drain must see them), then tear
+	// the dead engine down. The media corruption is injected only after
+	// Close has joined the engine's background goroutines — they may still
+	// be mid-read until then, and the flip must be the last thing to touch
+	// the media before recovery regardless.
+	if h, ok := db.(haltable); ok {
+		h.Halt()
+	}
+	m.Crash()
+	_ = db.Close(th)
+	m.SetMemGate(nil)
+	if fault == FaultFlip {
+		if addr, bit, ok := inj.FlipTarget(); ok {
+			var b [1]byte
+			m.PMem.LoadRaw(addr, b[:])
+			b[0] ^= 1 << bit
+			m.PMem.StoreRaw(addr, b[:])
+		}
+	}
+	m.Recover()
+	res.StreamHash = inj.StreamHash()
+
+	// Recovery. A panic is always a violation. A clean open error is
+	// acceptable only for FaultFlip (corruption may damage metadata the
+	// engine refuses to mount) — refusing service is honest, fabricating
+	// data is not.
+	th2 := m.NewThread(0)
+	var db2 kvstore.DB
+	openErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("recovery panicked: %v", r)
+				res.Violations = append(res.Violations, err.Error())
+			}
+		}()
+		db2, err = spec.Open(m, th2)
+		return err
+	}()
+	if db2 == nil {
+		if fault == FaultFlip && len(res.Violations) == 0 {
+			res.RecoveryRefused = openErr
+			return res
+		}
+		if openErr != nil && len(res.Violations) == 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf("recovery open failed: %v", openErr))
+		}
+		return res
+	}
+
+	// Oracle. Durability is demanded when the domain or the engine contract
+	// guarantees it; a bit flip voids durability (corruption may eat a
+	// legitimately persisted suffix) but never validity.
+	durable := domain == cache.EADR || spec.DurableADR
+	if fault == FaultFlip {
+		durable = false
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("recovered engine panicked under oracle probes: %v", r))
+			}
+		}()
+		res.Violations, res.Recovered = checkOracle(db2, th2, wl, res.Inflight, durable)
+		if fs, ok := db2.(interface{ FilterStats() (probes, negatives int64) }); ok {
+			res.FilterProbes, res.FilterNegatives = fs.FilterStats()
+		}
+		_ = db2.Close(th2)
+	}()
+	return res
+}
+
+// SweepConfig parameterizes a sweep over the crash-point space.
+type SweepConfig struct {
+	Engines      []EngineSpec
+	Domains      []cache.Domain
+	NumOps       int
+	WorkloadSeed uint64
+	// SchedulesPerConfig bounds the crash points tried per (engine, domain,
+	// fault) combination; 0 explores every crash point exhaustively.
+	SchedulesPerConfig int
+	// ScheduleSeed drives the bounded sweep's crash-point sampling.
+	ScheduleSeed uint64
+	Faults       []Fault
+	// Parallel runs up to this many schedules concurrently (each on its own
+	// platform instance); <= 1 runs sequentially. Results are independent of
+	// the setting.
+	Parallel int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// SweepStats aggregates a sweep.
+type SweepStats struct {
+	Runs        int
+	Failures    []*Result
+	EventTotals map[string]int64 // "engine/domain" -> workload event count
+}
+
+// Sweep enumerates or samples crash schedules per the config and runs each
+// one. Every failure carries its reproduction tuple.
+func Sweep(cfg SweepConfig) (*SweepStats, error) {
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = []Fault{FaultNone}
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	stats := &SweepStats{EventTotals: make(map[string]int64)}
+	wl := NewWorkload(cfg.WorkloadSeed, cfg.NumOps)
+
+	type job struct {
+		spec    EngineSpec
+		domain  cache.Domain
+		crashAt int64
+		fault   Fault
+	}
+	var jobs []job
+	for _, spec := range cfg.Engines {
+		for _, domain := range cfg.Domains {
+			total, _, err := CountEvents(spec, domain, wl)
+			if err != nil {
+				return nil, err
+			}
+			stats.EventTotals[spec.Name+"/"+domain.String()] = total
+			for _, fault := range cfg.Faults {
+				if cfg.SchedulesPerConfig <= 0 {
+					for k := int64(1); k <= total; k++ {
+						jobs = append(jobs, job{spec, domain, k, fault})
+					}
+					continue
+				}
+				rng := newSampleRNG(cfg.ScheduleSeed, spec.Name, domain, fault)
+				for s := 0; s < cfg.SchedulesPerConfig; s++ {
+					k := 1 + int64(rng.Uint64n(uint64(total)))
+					jobs = append(jobs, job{spec, domain, k, fault})
+				}
+			}
+			logf("faultinject: %s/%s: %d events", spec.Name, domain, total)
+		}
+	}
+
+	results := make([]*Result, len(jobs))
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				results[i] = RunSchedule(j.spec, j.domain, wl, j.crashAt, j.fault)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		stats.Runs++
+		if r.Failed() {
+			stats.Failures = append(stats.Failures, r)
+			logf("faultinject: FAIL {%s}: %s", r.Schedule, r.Violations[0])
+		}
+	}
+	return stats, nil
+}
+
+// newSampleRNG seeds the bounded sweep's crash-point sampler so each
+// (engine, domain, fault) combination draws an independent but reproducible
+// sequence.
+func newSampleRNG(seed uint64, engine string, domain cache.Domain, fault Fault) *rngAdapter {
+	h := uint64(fnvOffset)
+	for _, c := range []byte(engine) {
+		h = fnvMix(h, uint64(c))
+	}
+	h = fnvMix(h, seed, uint64(domain), uint64(fault))
+	return &rngAdapter{state: h}
+}
+
+// rngAdapter is a SplitMix64 stream over a derived seed (sim.NewRNG remaps
+// seed 0; this keeps the derivation transparent).
+type rngAdapter struct{ state uint64 }
+
+func (r *rngAdapter) Uint64n(n uint64) uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z % n
+}

@@ -1,0 +1,198 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/kvstore"
+)
+
+// keyState is the post-recovery state of one key: absent, or present with a
+// specific value.
+type keyState struct {
+	present bool
+	value   string
+}
+
+func (s keyState) String() string {
+	if !s.present {
+		return "<absent>"
+	}
+	return fmt.Sprintf("%q", s.value)
+}
+
+// mutation is one put or delete on a single key, tagged with its global op
+// index and whether it was acknowledged before the crash point.
+type mutation struct {
+	index int
+	op    Op
+	acked bool
+}
+
+func apply(s keyState, m mutation) keyState {
+	if m.op.Kind == OpDelete {
+		return keyState{}
+	}
+	return keyState{present: true, value: m.op.Value}
+}
+
+// admissible computes, for every key in the workload universe, the set of
+// post-recovery states the oracle accepts.
+//
+// inflight is the index of the operation the crash interrupted; operations
+// 0..inflight-1 completed their trailing fence before the crash point and
+// are *acknowledged*, operation inflight (if it mutates) may be partially
+// persisted, and later operations were never issued. inflight ==
+// len(wl.Ops) means the crash point fell after the last op's events.
+//
+// With durable=true (the engine guarantees persistence in this domain) the
+// oracle demands exactly the state after all acknowledged mutations, with
+// the in-flight mutation optionally applied on top — losing an acked write
+// or resurrecting an acked delete is a violation.
+//
+// With durable=false (e.g. cache-resident engines under ADR, which
+// legitimately lose unflushed data) the durability clause is waived but
+// *validity* still holds: the recovered state of each key must equal the
+// state after some prefix of that key's issued mutations — no fabricated
+// values, no out-of-order survival, no resurrection of keys deleted and
+// never rewritten.
+func admissible(wl *Workload, inflight int, durable bool) map[string][]keyState {
+	hist := make(map[string][]mutation)
+	limit := inflight
+	if limit > len(wl.Ops)-1 {
+		limit = len(wl.Ops) - 1
+	}
+	for i := 0; i <= limit; i++ {
+		op := wl.Ops[i]
+		if op.Kind == OpGet {
+			continue
+		}
+		hist[op.Key] = append(hist[op.Key], mutation{index: i, op: op, acked: i < inflight})
+	}
+	out := make(map[string][]keyState)
+	for _, key := range wl.Keys() {
+		ms := hist[key]
+		var states []keyState
+		if durable {
+			base := keyState{}
+			for _, m := range ms {
+				if m.acked {
+					base = apply(base, m)
+				}
+			}
+			states = append(states, base)
+			if len(ms) > 0 && !ms[len(ms)-1].acked {
+				states = appendState(states, apply(base, ms[len(ms)-1]))
+			}
+		} else {
+			// Every prefix of the key's issued mutation list.
+			cur := keyState{}
+			states = append(states, cur)
+			for _, m := range ms {
+				cur = apply(cur, m)
+				states = appendState(states, cur)
+			}
+		}
+		out[key] = states
+	}
+	return out
+}
+
+func appendState(states []keyState, s keyState) []keyState {
+	for _, have := range states {
+		if have == s {
+			return states
+		}
+	}
+	return append(states, s)
+}
+
+func stateAdmissible(states []keyState, s keyState) bool {
+	for _, have := range states {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOracle probes every key in the workload universe via Get, scans the
+// full store, and returns a violation message per inconsistency. It also
+// returns the recovered view (present keys only) for differential tests.
+func checkOracle(db kvstore.DB, th *hw.Thread, wl *Workload, inflight int, durable bool) (violations []string, recovered map[string]string) {
+	adm := admissible(wl, inflight, durable)
+	got := make(map[string]keyState)
+	for _, key := range wl.Keys() {
+		v, err := db.Get(th, []byte(key))
+		switch {
+		case err == nil:
+			got[key] = keyState{present: true, value: string(v)}
+		case errors.Is(err, kvstore.ErrNotFound):
+			got[key] = keyState{}
+		default:
+			violations = append(violations, fmt.Sprintf("get %q: unexpected error %v", key, err))
+			continue
+		}
+		if !stateAdmissible(adm[key], got[key]) {
+			violations = append(violations, fmt.Sprintf(
+				"key %q: recovered %v, admissible %v (durable=%v, inflight op %d)",
+				key, got[key], adm[key], durable, inflight))
+		}
+	}
+
+	// Full scan: every returned entry must belong to the universe, appear in
+	// ascending key order, and agree with the Get-derived view (an entry
+	// visible to Scan but not Get, or vice versa, is an index/filter
+	// inconsistency even when both states are individually admissible).
+	scanned := make(map[string]string)
+	var prev string
+	orderOK := true
+	_, err := db.Scan(th, nil, 0, func(k, v []byte) bool {
+		key := string(k)
+		if prev != "" && key <= prev {
+			orderOK = false
+		}
+		prev = key
+		scanned[key] = string(v)
+		return true
+	})
+	if err != nil {
+		violations = append(violations, fmt.Sprintf("scan: unexpected error %v", err))
+	}
+	if !orderOK {
+		violations = append(violations, "scan: keys not in strictly ascending order")
+	}
+	inUniverse := make(map[string]bool, len(adm))
+	for k := range adm {
+		inUniverse[k] = true
+	}
+	for k, v := range scanned {
+		if !inUniverse[k] {
+			violations = append(violations, fmt.Sprintf("scan: fabricated key %q = %q", k, v))
+			continue
+		}
+		if g := got[k]; !g.present || g.value != v {
+			violations = append(violations, fmt.Sprintf(
+				"scan/get disagree on %q: scan %q, get %v", k, v, g))
+		}
+	}
+	for k, g := range got {
+		if g.present {
+			if _, ok := scanned[k]; !ok {
+				violations = append(violations, fmt.Sprintf(
+					"key %q visible to get (%v) but missing from scan", k, g))
+			}
+		}
+	}
+
+	recovered = make(map[string]string)
+	for k, g := range got {
+		if g.present {
+			recovered[k] = g.value
+		}
+	}
+	sort.Strings(violations)
+	return violations, recovered
+}

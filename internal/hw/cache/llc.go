@@ -114,6 +114,13 @@ type LLC struct {
 	partitions []partition
 	locked     map[PartitionID]*lockedRegion
 
+	// gate, when non-nil, intercepts every persistence-plane operation the
+	// cache accepts (see sim.MemGate). The fault-injection harness installs
+	// it to number crash-point events and to freeze the platform at a chosen
+	// one; ordinary operation leaves it nil.
+	gateMu sync.RWMutex
+	gate   sim.MemGate
+
 	statMu sync.Mutex
 	stats  Stats
 }
@@ -161,6 +168,27 @@ func New(cfg Config, dev *pmem.Device, cm *sim.CostModel) *LLC {
 
 // Domain returns the configured persistence domain.
 func (c *LLC) Domain() Domain { return c.domain }
+
+// SetGate installs g as the persistence-operation gate (nil removes it).
+// Crash-schedule exploration uses the gate to number and suppress operations;
+// see sim.MemGate for the interception contract.
+func (c *LLC) SetGate(g sim.MemGate) {
+	c.gateMu.Lock()
+	c.gate = g
+	c.gateMu.Unlock()
+}
+
+// gateOp consults the installed gate, returning the permitted byte count
+// (n when no gate is installed).
+func (c *LLC) gateOp(op sim.MemOp, addr uint64, n int) int {
+	c.gateMu.RLock()
+	g := c.gate
+	c.gateMu.RUnlock()
+	if g == nil {
+		return n
+	}
+	return g(op, addr, n)
+}
 
 // SizeBytes returns the total cache capacity.
 func (c *LLC) SizeBytes() int { return c.nSets * c.nWays * lineSize }
@@ -309,6 +337,12 @@ func (c *LLC) install(clk *sim.Clock, s *set, addr uint64, p PartitionID) int {
 // writes to absent lines fetch the line from PMem first (write-allocate).
 // data need not be aligned.
 func (c *LLC) Write(clk *sim.Clock, addr uint64, data []byte, p PartitionID) {
+	if n := c.gateOp(sim.MemOpWrite, addr, len(data)); n < len(data) {
+		if n <= 0 {
+			return
+		}
+		data = data[:n]
+	}
 	for len(data) > 0 {
 		base := addr &^ (lineSize - 1)
 		off := int(addr - base)
@@ -367,6 +401,12 @@ func (c *LLC) writeLine(clk *sim.Clock, base uint64, off int, data []byte, p Par
 
 // Read loads len(buf) bytes at addr through the cache under partition p.
 func (c *LLC) Read(clk *sim.Clock, addr uint64, buf []byte, p PartitionID) {
+	if c.gateOp(sim.MemOpRead, addr, len(buf)) < len(buf) {
+		// Frozen platform: serve the currently visible content without
+		// installing lines, so the read causes no eviction writebacks.
+		c.readBypass(addr, buf)
+		return
+	}
 	for len(buf) > 0 {
 		base := addr &^ (lineSize - 1)
 		off := int(addr - base)
@@ -417,6 +457,28 @@ func (c *LLC) readLine(clk *sim.Clock, base uint64, off int, buf []byte, p Parti
 	s.ways[w].lruTick = s.tick
 	s.mu.Unlock()
 	clk.Advance(c.costs.CacheHitRead + c.costs.CacheMissExtra)
+}
+
+// readBypass serves a read from the currently visible content — the cached
+// line when present, the media backing otherwise — without installing lines
+// or touching LRU state. The gate's freeze mode uses it so that reads issued
+// after the crash point cannot mutate what is durable.
+func (c *LLC) readBypass(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		base := addr &^ (lineSize - 1)
+		off := int(addr - base)
+		n := lineSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if ln, ok := c.peekLine(base); ok {
+			copy(buf[:n], ln[off:])
+		} else {
+			c.dev.LoadRaw(addr, buf[:n])
+		}
+		addr += uint64(n)
+		buf = buf[n:]
+	}
 }
 
 // lockedWrite stores into a pseudo-locked region's line, allocating it on
@@ -504,12 +566,26 @@ func (c *LLC) lockedRegions() []*lockedRegion {
 // the PMem (arriving at the XPBuffer in ascending address order, which is
 // what lets adjacent lines combine) and every touched line is invalidated.
 func (c *LLC) Flush(clk *sim.Clock, addr uint64, n int) {
+	if g := c.gateOp(sim.MemOpFlush, addr, n); g < n {
+		// A torn flush writes back only the leading lines: the crash landed
+		// mid-loop, before the trailing fence completed.
+		if g <= 0 {
+			return
+		}
+		n = g
+	}
 	c.flushRange(clk, addr, n, true)
 }
 
 // FlushOpt performs clwb: dirty lines are written back but remain valid
 // (clean) in the cache.
 func (c *LLC) FlushOpt(clk *sim.Clock, addr uint64, n int) {
+	if g := c.gateOp(sim.MemOpFlushOpt, addr, n); g < n {
+		if g <= 0 {
+			return
+		}
+		n = g
+	}
 	c.flushRange(clk, addr, n, false)
 }
 
@@ -564,6 +640,15 @@ func (c *LLC) flushRange(clk *sim.Clock, addr uint64, n int, invalidate bool) {
 // Invalidate drops lines in [addr, addr+n) without writing them back. It
 // models reusing a region whose contents were already copied elsewhere.
 func (c *LLC) Invalidate(addr uint64, n int) {
+	if c.gateOp(sim.MemOpInvalidate, addr, n) < n {
+		return
+	}
+	c.invalidate(addr, n)
+}
+
+// invalidate is Invalidate without gate interception; internal paths that
+// already passed the gate (NTWrite) use it.
+func (c *LLC) invalidate(addr uint64, n int) {
 	if n <= 0 {
 		return
 	}
@@ -596,6 +681,12 @@ func (c *LLC) NTWrite(clk *sim.Clock, addr uint64, data []byte) {
 	if len(data) == 0 {
 		return
 	}
+	if n := c.gateOp(sim.MemOpNTWrite, addr, len(data)); n < len(data) {
+		if n <= 0 {
+			return
+		}
+		data = data[:n]
+	}
 	// Align the bulk of the transfer to cachelines; ragged edges pay a
 	// read-modify-write at line granularity. Edge bytes are merged from the
 	// *visible* content — dirty cache lines included — not the stale backing.
@@ -620,7 +711,7 @@ func (c *LLC) NTWrite(clk *sim.Clock, addr uint64, data []byte) {
 	}
 	copy(buf[head:], data)
 	// Stale cached copies are dropped only after the edge merge read them.
-	c.Invalidate(addr, len(data))
+	c.invalidate(addr, len(data))
 	lines := padded / lineSize
 	clk.Advance(int64(lines) * c.costs.NTStore)
 	c.dev.WriteLinesPipelined(clk, base, buf)

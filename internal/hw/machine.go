@@ -133,8 +133,23 @@ func (m *Machine) Crash() {
 	m.crashed.Store(true)
 }
 
-// Recover clears the crashed flag; the platform boots with a cold cache.
-func (m *Machine) Recover() { m.crashed.Store(false) }
+// Recover boots the platform after a Crash: the crashed flag clears, the
+// cache comes up cold (Crash emptied it), and the PMem device's volatile
+// staging state — the XPBuffer combining window and the sequential-read
+// tracker — resets to power-on values so that post-reboot accesses cannot
+// combine with (or ride the locality of) pre-crash ones. Thread contexts are
+// not machine state: they are volatile, owned by the software that created
+// them, and must be recreated after a crash like every other DRAM structure.
+func (m *Machine) Recover() {
+	m.PMem.PowerCycle()
+	m.crashed.Store(false)
+}
+
+// SetMemGate installs g as the persistence-operation gate on the platform's
+// cache (nil removes it). The fault-injection harness uses the gate to number
+// the operation stream and freeze the platform at a chosen crash point; see
+// sim.MemGate.
+func (m *Machine) SetMemGate(g sim.MemGate) { m.Cache.SetGate(g) }
 
 // Crashed reports whether the machine is between Crash and Recover.
 func (m *Machine) Crashed() bool { return m.crashed.Load() }

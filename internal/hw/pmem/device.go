@@ -317,6 +317,23 @@ func (d *Device) Flush(clk *sim.Clock) {
 	}
 }
 
+// PowerCycle resets the device's volatile staging metadata to its power-on
+// state. Bytes accepted by the XPBuffer are already durable (storeRaw runs
+// before staging accounting, and the buffer sits inside the persistence
+// domain on real hardware), but the *combining window itself* does not
+// survive a power cycle: a line written after reboot must not combine with
+// an XPLine staged before the failure, and the first read after reboot pays
+// the random-access latency regardless of where the last pre-crash read
+// landed. Machine.Recover calls this; the durable contents and the monotonic
+// hardware counters are untouched.
+func (d *Device) PowerCycle() {
+	d.bufMu.Lock()
+	d.buf = make(map[uint64]*xpEntry)
+	d.fifo = d.fifo[:0]
+	d.bufMu.Unlock()
+	d.lastRead.Store(0)
+}
+
 // Read copies n bytes at addr into buf, charging one media read per XPLine
 // touched. Sequential reads (each following the previous read address) are
 // charged the lower sequential latency.

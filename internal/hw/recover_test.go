@@ -1,0 +1,102 @@
+package hw
+
+import (
+	"testing"
+)
+
+// These tests pin Machine.Recover's power-cycle semantics on the PMem device:
+// the XPBuffer's write-combining window and the sequential-read tracker are
+// volatile staging state and must reset at reboot, while durable content and
+// the monotonic hardware counters must not change.
+
+func newBareMachine() (*Machine, *Thread) {
+	m := NewMachine(Config{PMemBytes: 64 << 20})
+	return m, m.NewThread(0)
+}
+
+// TestRecoverResetsXPBufferCombining: a cacheline written before the crash
+// stages a partial XPLine; a line written to the same XPLine after
+// Crash/Recover must open a fresh staging slot, not combine with the
+// pre-crash entry (combining across a power cycle would mis-account the
+// write-amplification the model exists to measure).
+func TestRecoverResetsXPBufferCombining(t *testing.T) {
+	const base = 8192 // XPLine-aligned, away from the unmapped zero page
+	line := make([]byte, 64)
+
+	// Sanity branch: without a crash the second line combines.
+	m, th := newBareMachine()
+	m.PMem.WriteLines(th.Clock, base, line)
+	m.PMem.WriteLines(th.Clock, base+64, line)
+	if hits := m.PMem.Counters.LineHits.Load(); hits != 1 {
+		t.Fatalf("sanity: adjacent lines should combine in one XPLine, LineHits=%d", hits)
+	}
+
+	// Crash between the two lines: no combining allowed.
+	m2, th2 := newBareMachine()
+	m2.PMem.WriteLines(th2.Clock, base, line)
+	m2.Crash()
+	m2.Recover()
+	th3 := m2.NewThread(0)
+	m2.PMem.WriteLines(th3.Clock, base+64, line)
+	if hits := m2.PMem.Counters.LineHits.Load(); hits != 0 {
+		t.Errorf("post-recovery write combined with pre-crash XPBuffer staging (LineHits=%d)", hits)
+	}
+}
+
+// TestRecoverResetsReadLocality: the DIMM's sequential-read tracker must not
+// survive a reboot — the first read after Recover pays the random-access
+// latency even when it lands exactly one XPLine past the last pre-crash read.
+func TestRecoverResetsReadLocality(t *testing.T) {
+	const a, b = 8192, 8192 + 256 // consecutive XPLines
+	buf := make([]byte, 256)
+
+	m, th := newBareMachine()
+	m.PMem.Read(th.Clock, a, buf)
+	c0 := th.Clock.Now()
+	m.PMem.Read(th.Clock, b, buf)
+	seqCost := th.Clock.Now() - c0
+
+	m2, th2 := newBareMachine()
+	m2.PMem.Read(th2.Clock, a, buf)
+	m2.Crash()
+	m2.Recover()
+	th3 := m2.NewThread(0)
+	c0 = th3.Clock.Now()
+	m2.PMem.Read(th3.Clock, b, buf)
+	rebootCost := th3.Clock.Now() - c0
+
+	if rebootCost <= seqCost {
+		t.Errorf("read after reboot rode pre-crash locality: cost %d, sequential cost %d (want random > sequential)",
+			rebootCost, seqCost)
+	}
+	if want := m.Costs.PMemReadRand; rebootCost != want {
+		t.Errorf("first post-reboot XPLine read cost %d, want the random latency %d", rebootCost, want)
+	}
+}
+
+// TestRecoverPreservesCountersAndContent: Crash/Recover must neither disturb
+// the monotonic hardware counters nor the durable bytes.
+func TestRecoverPreservesCountersAndContent(t *testing.T) {
+	m, th := newBareMachine()
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m.PMem.WriteLines(th.Clock, 8192, data)
+	m.PMem.WriteLines(th.Clock, 16384, data[:64]) // leave a partial staged
+	before := m.PMem.Snapshot()
+
+	m.Crash()
+	m.Recover()
+
+	if after := m.PMem.Snapshot(); after != before {
+		t.Errorf("hardware counters changed across Crash/Recover:\n before %+v\n after  %+v", before, after)
+	}
+	got := make([]byte, 256)
+	m.PMem.LoadRaw(8192, got)
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("durable content changed across Crash/Recover at byte %d: %#x != %#x", i, got[i], data[i])
+		}
+	}
+}

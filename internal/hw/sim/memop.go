@@ -1,0 +1,45 @@
+package sim
+
+// MemOp classifies the persistence-plane operations software issues against
+// the simulated platform. The fault-injection harness numbers these to build
+// crash schedules: every mutating MemOp the cache accepts is one crash-point
+// event. Reads are classified too (so a frozen platform can serve them
+// without installing lines) but are never counted as crash points.
+type MemOp int
+
+// The persistence-plane operation kinds. Fences are not a separate kind:
+// the model charges the trailing sfence inside the operation that carries it
+// (Flush, FlushOpt and NTWrite all end with one), so the completion of such
+// an operation is its fence completion — the acknowledgement point crash
+// schedules are defined against.
+const (
+	MemOpRead MemOp = iota
+	MemOpWrite
+	MemOpNTWrite
+	MemOpFlush
+	MemOpFlushOpt
+	MemOpInvalidate
+)
+
+var memOpNames = [...]string{"read", "write", "ntwrite", "flush", "flushopt", "invalidate"}
+
+// String returns the operation's short name.
+func (op MemOp) String() string {
+	if int(op) < len(memOpNames) {
+		return memOpNames[op]
+	}
+	return "memop?"
+}
+
+// MemGate intercepts persistence-plane operations before they take effect.
+// It returns how many of the n bytes the operation may apply: n lets the
+// operation proceed unchanged, 0 suppresses it entirely, and an intermediate
+// value applies only the leading prefix (a torn write at the media's access
+// granularity). For MemOpRead the return value is interpreted as a boolean:
+// anything less than n serves the read from the currently visible content
+// without mutating cache state (no line installs, hence no evictions).
+//
+// A nil gate — the normal configuration — imposes no interception and no
+// overhead. The type lives in sim because both the cache and the device
+// import this package, keeping the hook free of import cycles.
+type MemGate func(op MemOp, addr uint64, n int) int
