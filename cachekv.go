@@ -38,6 +38,7 @@ import (
 	"cachekv/internal/hw"
 	"cachekv/internal/hw/cache"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/obs"
 )
 
 // Engine selects which store design runs on the simulated platform.
@@ -97,6 +98,15 @@ type Options struct {
 	// filters (default 10 bits/key). Negative disables them. The filters are
 	// volatile and rebuilt during recovery, so crash semantics are unchanged.
 	FilterBitsPerKey int
+
+	// DisableObs turns off the observability layer: no per-operation
+	// latency/attribution collection and no lifecycle event trace. Attribution
+	// never advances virtual clocks, so disabling it only saves host-side
+	// bookkeeping.
+	DisableObs bool
+	// TraceCap bounds the lifecycle event ring (default
+	// obs.DefaultTraceCap). Ignored when DisableObs is set.
+	TraceCap int
 }
 
 // validate rejects nonsense configurations with a descriptive error rather
@@ -135,6 +145,11 @@ type DB struct {
 	opts     Options
 	sessions []*Session
 	closed   bool
+
+	// Observability (nil when Options.DisableObs): the collector and trace
+	// survive SimulateCrash so post-recovery analysis sees the whole history.
+	col   *obs.Collector
+	trace *obs.Trace
 }
 
 // Open builds a fresh simulated platform and opens the chosen engine on it.
@@ -153,19 +168,30 @@ func Open(opts Options) (*DB, error) {
 		cfg.Cache.Domain = cache.ADR
 	}
 	m := hw.NewMachine(cfg)
-	return openOn(m, opts)
+	var col *obs.Collector
+	var trace *obs.Trace
+	if !opts.DisableObs {
+		m.EnableObs()
+		col = obs.NewCollector()
+		cap := opts.TraceCap
+		if cap <= 0 {
+			cap = obs.DefaultTraceCap
+		}
+		trace = obs.NewTrace(cap)
+	}
+	return openOn(m, opts, col, trace)
 }
 
-func openOn(m *hw.Machine, opts Options) (*DB, error) {
+func openOn(m *hw.Machine, opts Options, col *obs.Collector, trace *obs.Trace) (*DB, error) {
 	th := m.NewThread(0)
-	inner, err := openEngine(m, opts, th)
+	inner, err := openEngine(m, opts, th, trace)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{machine: m, inner: inner, opts: opts}, nil
+	return &DB{machine: m, inner: inner, opts: opts, col: col, trace: trace}, nil
 }
 
-func openEngine(m *hw.Machine, opts Options, th *hw.Thread) (kvstore.DB, error) {
+func openEngine(m *hw.Machine, opts Options, th *hw.Thread, trace *obs.Trace) (kvstore.DB, error) {
 	fsBytes := uint64(1) << 30
 	if opts.FSMB > 0 {
 		fsBytes = uint64(opts.FSMB) << 20
@@ -221,6 +247,7 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread) (kvstore.DB, error) 
 			o.LazyIndex = true
 			o.SkiplistCompaction = false
 		}
+		o.Trace = trace
 		return core.Open(m, o, th)
 	case EngineNoveLSM, EngineNoveLSMNoFlush, EngineNoveLSMCache:
 		o := novelsm.DefaultOptions()
@@ -230,6 +257,7 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread) (kvstore.DB, error) 
 			EngineNoveLSMNoFlush: baseline.WithoutFlush,
 			EngineNoveLSMCache:   baseline.CacheSegments,
 		}[opts.Engine]
+		o.Trace = trace
 		return novelsm.Open(m, o, th)
 	case EngineSLMDB, EngineSLMDBNoFlush, EngineSLMDBCache:
 		o := slmdb.DefaultOptions()
@@ -239,6 +267,7 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread) (kvstore.DB, error) 
 			EngineSLMDBNoFlush: baseline.WithoutFlush,
 			EngineSLMDBCache:   baseline.CacheSegments,
 		}[opts.Engine]
+		o.Trace = trace
 		return slmdb.Open(m, o, th)
 	default:
 		return nil, fmt.Errorf("cachekv: unknown engine %q", opts.Engine)
@@ -261,7 +290,10 @@ func (db *DB) Session(core int) *Session {
 // Flush forces all buffered writes down to the storage component.
 func (db *DB) Flush() error {
 	th := db.machine.NewThread(0)
-	return db.inner.FlushAll(th)
+	sp := db.col.StartOp(th, obs.OpFlush)
+	err := db.inner.FlushAll(th)
+	sp.End()
+	return err
 }
 
 // Close stops background work. The simulated PMem contents survive; a
@@ -298,20 +330,35 @@ func (db *DB) SimulateCrash() (*DB, error) {
 	}
 	// Crash while the partitions are still pinned (the persistence-domain
 	// drain must see the pool), then tear the dead engine down.
+	th0 := db.machine.NewThread(0)
+	db.trace.Emit(th0.Clock.Now(), "crash", "engine", db.inner.Name())
 	db.machine.Crash()
 	th := db.machine.NewThread(0)
 	_ = db.inner.Close(th)
 	db.machine.Recover()
-	return openOn(db.machine, db.opts)
+	ndb, err := openOn(db.machine, db.opts, db.col, db.trace)
+	if err == nil {
+		rth := db.machine.NewThread(0)
+		ndb.trace.Emit(rth.Clock.Now(), "recovered", "engine", ndb.inner.Name())
+	}
+	return ndb, err
 }
 
 // Metrics is a snapshot of the simulated hardware counters plus the engine's
-// read-path accelerator counters (zero for engines without them).
+// read-path accelerator counters (zero for engines without them). The ratio
+// fields are derived from the raw counters next to them and are 0 when the
+// denominator has seen no traffic yet; use the raw fields to tell "no
+// traffic" apart from a genuine 0% hit rate.
 type Metrics struct {
 	WriteHitRatio      float64 // XPBuffer combining ratio (paper Fig. 4)
 	WriteAmplification float64 // media bytes written / bytes stored
 	MediaWriteBytes    int64
 	MediaReadBytes     int64
+	CallerWriteBytes   int64 // bytes software asked the PMem device to write
+	LineArrivals       int64 // XPBuffer line arrivals (WriteHitRatio denominator)
+	LineHits           int64 // XPBuffer write-combining hits (numerator)
+	XPLineEvicts       int64 // 256B XPLines evicted from the XPBuffer to media
+	RMWEvicts          int64 // evictions that needed a read-modify-write
 	CacheHits          int64
 	CacheMisses        int64
 
@@ -327,6 +374,33 @@ type Metrics struct {
 	FilterNegatives int64
 }
 
+// Sub returns the interval delta m - prev: raw counters subtract and the
+// ratio fields are recomputed from the deltas (NaN-safe zero when the
+// interval saw no traffic), mirroring pmem.CountersSnapshot.Sub.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	d := Metrics{
+		MediaWriteBytes:  m.MediaWriteBytes - prev.MediaWriteBytes,
+		MediaReadBytes:   m.MediaReadBytes - prev.MediaReadBytes,
+		CallerWriteBytes: m.CallerWriteBytes - prev.CallerWriteBytes,
+		LineArrivals:     m.LineArrivals - prev.LineArrivals,
+		LineHits:         m.LineHits - prev.LineHits,
+		XPLineEvicts:     m.XPLineEvicts - prev.XPLineEvicts,
+		RMWEvicts:        m.RMWEvicts - prev.RMWEvicts,
+		CacheHits:        m.CacheHits - prev.CacheHits,
+		CacheMisses:      m.CacheMisses - prev.CacheMisses,
+		BlockCacheHits:   m.BlockCacheHits - prev.BlockCacheHits,
+		BlockCacheMisses: m.BlockCacheMisses - prev.BlockCacheMisses,
+		FilterProbes:     m.FilterProbes - prev.FilterProbes,
+		FilterNegatives:  m.FilterNegatives - prev.FilterNegatives,
+	}
+	d.WriteHitRatio = obs.SafeRatio(d.LineHits, d.LineArrivals)
+	if d.CallerWriteBytes > 0 {
+		d.WriteAmplification = float64(d.MediaWriteBytes) / float64(d.CallerWriteBytes)
+	}
+	d.BlockCacheHitRatio = obs.SafeRatio(d.BlockCacheHits, d.BlockCacheHits+d.BlockCacheMisses)
+	return d
+}
+
 // Metrics returns the platform's cumulative hardware counters.
 func (db *DB) Metrics() Metrics {
 	hwSnap := db.machine.PMem.Snapshot()
@@ -336,20 +410,41 @@ func (db *DB) Metrics() Metrics {
 		WriteAmplification: hwSnap.WriteAmplification(),
 		MediaWriteBytes:    hwSnap.MediaWriteB,
 		MediaReadBytes:     hwSnap.MediaReadB,
+		CallerWriteBytes:   hwSnap.CallerWriteB,
+		LineArrivals:       hwSnap.LineArrivals,
+		LineHits:           hwSnap.LineHits,
+		XPLineEvicts:       hwSnap.XPLineEvicts,
+		RMWEvicts:          hwSnap.RMWEvicts,
 		CacheHits:          cs.Hits,
 		CacheMisses:        cs.Misses,
 	}
 	if bs, ok := db.inner.(interface{ BlockCacheStats() (hits, misses int64) }); ok {
 		m.BlockCacheHits, m.BlockCacheMisses = bs.BlockCacheStats()
-		if total := m.BlockCacheHits + m.BlockCacheMisses; total > 0 {
-			m.BlockCacheHitRatio = float64(m.BlockCacheHits) / float64(total)
-		}
+		m.BlockCacheHitRatio = obs.SafeRatio(m.BlockCacheHits, m.BlockCacheHits+m.BlockCacheMisses)
 	}
 	if fs, ok := db.inner.(interface{ FilterStats() (probes, negatives int64) }); ok {
 		m.FilterProbes, m.FilterNegatives = fs.FilterStats()
 	}
 	return m
 }
+
+// Registry builds a metrics registry over the platform, the engine, and the
+// event trace, ready for text or JSON exposition. Each call rebuilds gauge
+// values from live counters; hold the result only briefly.
+func (db *DB) Registry() *obs.Registry {
+	r := obs.NewRegistry()
+	obs.RegisterMachine(r, db.machine)
+	obs.RegisterKV(r, db.inner)
+	obs.RegisterTrace(r, db.trace)
+	return r
+}
+
+// Trace returns the lifecycle event trace (nil when Options.DisableObs).
+func (db *DB) Trace() *obs.Trace { return db.trace }
+
+// Collector returns the per-op attribution collector (nil when
+// Options.DisableObs).
+func (db *DB) Collector() *obs.Collector { return db.col }
 
 // Session is a simulated thread interacting with the store. Operations
 // advance its virtual clock by the modelled hardware cost.
@@ -359,18 +454,36 @@ type Session struct {
 }
 
 // Put stores key -> value.
-func (s *Session) Put(key, value []byte) error { return s.db.inner.Put(s.th, key, value) }
+func (s *Session) Put(key, value []byte) error {
+	sp := s.db.col.StartOp(s.th, obs.OpPut)
+	err := s.db.inner.Put(s.th, key, value)
+	sp.End()
+	return err
+}
 
 // Get returns the freshest value for key, or ErrNotFound.
-func (s *Session) Get(key []byte) ([]byte, error) { return s.db.inner.Get(s.th, key) }
+func (s *Session) Get(key []byte) ([]byte, error) {
+	sp := s.db.col.StartOp(s.th, obs.OpGet)
+	v, err := s.db.inner.Get(s.th, key)
+	sp.End()
+	return v, err
+}
 
 // Delete removes key.
-func (s *Session) Delete(key []byte) error { return s.db.inner.Delete(s.th, key) }
+func (s *Session) Delete(key []byte) error {
+	sp := s.db.col.StartOp(s.th, obs.OpDelete)
+	err := s.db.inner.Delete(s.th, key)
+	sp.End()
+	return err
+}
 
 // Scan visits up to limit live keys >= start in order, stopping early when
 // fn returns false; it reports how many entries were visited.
 func (s *Session) Scan(start []byte, limit int, fn func(key, value []byte) bool) (int, error) {
-	return s.db.inner.Scan(s.th, start, limit, fn)
+	sp := s.db.col.StartOp(s.th, obs.OpScan)
+	n, err := s.db.inner.Scan(s.th, start, limit, fn)
+	sp.End()
+	return n, err
 }
 
 // Batch is an atomic multi-key write (CacheKV engines only): every entry
@@ -397,7 +510,10 @@ func (s *Session) Apply(b *Batch) error {
 	if !ok {
 		return fmt.Errorf("cachekv: engine %s does not support atomic batches", s.db.EngineName())
 	}
-	return e.Apply(s.th, &b.inner)
+	sp := s.db.col.StartOp(s.th, obs.OpBatch)
+	err := e.Apply(s.th, &b.inner)
+	sp.End()
+	return err
 }
 
 // VirtualNanos returns the session's virtual clock — the modelled time its

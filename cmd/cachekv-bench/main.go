@@ -16,6 +16,8 @@ import (
 	"strings"
 
 	"cachekv/internal/bench"
+	"cachekv/internal/hw/sim"
+	"cachekv/internal/obs"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 	readPathOut := flag.String("readpath-out", "", "run the read-path suite and write machine-readable JSON here (ignores -benchmarks)")
 	readPathBase := flag.String("readpath-baseline", "", "prior readpath JSON to embed as the before/after baseline")
 	readPathEngines := flag.String("readpath-engines", "cachekv,novelsm,slm-db", "engines measured by the read-path suite")
+	obsOut := flag.String("obs-out", "", "write a per-phase cachekv.obs/v1 attribution report here (e.g. BENCH_obs.json)")
 	flag.Parse()
 
 	if *readPathOut != "" {
@@ -67,6 +70,12 @@ func main() {
 	if *tableKB > 0 {
 		cfg.SubMemTableBytes = uint64(*tableKB) << 10
 	}
+	var tr *obs.Trace
+	if *obsOut != "" {
+		cfg.Obs = true
+		tr = obs.NewTrace(obs.DefaultTraceCap)
+		cfg.Trace = tr
+	}
 	m := cfg.NewMachine()
 	th := m.NewThread(0)
 	db, err := cfg.Open(kind, m, th)
@@ -75,6 +84,13 @@ func main() {
 		os.Exit(1)
 	}
 	runner := bench.NewRunner(m, db)
+	report := obs.NewReport("cachekv-bench")
+	var prevTally sim.TallySnapshot
+	var prevSnap *obs.Snapshot
+	if *obsOut != "" {
+		prevTally = m.ObsTally().Snapshot()
+		prevSnap = bench.BuildRegistry(m, db, tr).Gather()
+	}
 
 	fmt.Printf("engine:     %s\n", db.Name())
 	fmt.Printf("keys:       16 bytes each\n")
@@ -90,10 +106,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
 			os.Exit(1)
 		}
+		if *obsOut != "" {
+			runner.Col = obs.NewCollector() // fresh per phase: per-phase op stats
+		}
 		res, err := runner.Run(w)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *obsOut != "" {
+			run := bench.BuildRunReport(res, runner, tr, false)
+			// Per-phase windows: layer totals and counter metrics become
+			// deltas over this phase rather than cumulative machine totals.
+			tallyNow := m.ObsTally().Snapshot()
+			run.Layers = obs.LayersFromTally(tallyNow.Sub(prevTally))
+			snapNow := run.Metrics
+			run.Metrics = snapNow.Sub(prevSnap)
+			prevTally, prevSnap = tallyNow, snapNow
+			report.Runs = append(report.Runs, run)
 		}
 		micros := float64(res.ElapsedNs) / 1000 / float64(res.Ops) * float64(res.Threads)
 		fmt.Printf("%-12s : %8.3f micros/op; %10.1f Kops/s; p50 %.0fns p99 %.0fns",
@@ -113,6 +143,13 @@ func main() {
 	fmt.Printf("XPBuffer write hit ratio : %.1f%%\n", snap.WriteHitRatio()*100)
 	fmt.Printf("write amplification      : %.2fx\n", snap.WriteAmplification())
 	fmt.Printf("media written            : %d MiB\n", snap.MediaWriteB>>20)
+	if *obsOut != "" {
+		if err := report.WriteFile(*obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("attribution report       : %s (%d phases)\n", *obsOut, len(report.Runs))
+	}
 	if err := db.Close(th); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

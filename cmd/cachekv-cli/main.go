@@ -11,10 +11,17 @@
 //	power failure simulated; store recovered
 //	cachekv> get greeting
 //	hello
+//
+// The non-interactive stats subcommand runs a small smoke workload and dumps
+// the full metrics registry:
+//
+//	$ cachekv-cli stats [-json] [-engine cachekv] [-ops 2000]
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -24,6 +31,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		os.Exit(statsCmd(os.Args[2:]))
+	}
 	db, err := cachekv.Open(cachekv.Options{PMemMB: 1024})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -44,7 +54,7 @@ func main() {
 		}
 		switch fields[0] {
 		case "help":
-			fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> [n] | flush | crash | stats | quit")
+			fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> [n] | flush | crash | stats | metrics | trace [n] | quit")
 		case "put":
 			if len(fields) < 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -121,6 +131,28 @@ func main() {
 				m.FilterProbes, m.FilterNegatives,
 				m.BlockCacheHits, m.BlockCacheMisses, m.BlockCacheHitRatio*100)
 			fmt.Printf("session virtual time: %.3f ms\n", float64(s.VirtualNanos())/1e6)
+		case "metrics":
+			db.Registry().Gather().WriteText(os.Stdout)
+		case "trace":
+			tr := db.Trace()
+			if tr == nil {
+				fmt.Println("observability disabled")
+				continue
+			}
+			n := 10
+			if len(fields) > 1 {
+				if v, err := strconv.Atoi(fields[1]); err == nil {
+					n = v
+				}
+			}
+			evs := tr.Events()
+			if len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+			for _, ev := range evs {
+				b, _ := json.Marshal(ev)
+				fmt.Println(string(b))
+			}
 		case "quit", "exit":
 			db.Close()
 			return
@@ -129,4 +161,53 @@ func main() {
 		}
 	}
 	db.Close()
+}
+
+// statsCmd runs a deterministic smoke workload against a fresh store and
+// dumps the metrics registry, as aligned text or (with -json) the sorted JSON
+// snapshot the golden tests pin.
+func statsCmd(args []string) int {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	engine := fs.String("engine", "cachekv", "engine to exercise")
+	ops := fs.Int("ops", 2000, "smoke workload size")
+	asJSON := fs.Bool("json", false, "emit the snapshot as JSON (sorted by name)")
+	fs.Parse(args)
+
+	db, err := cachekv.Open(cachekv.Options{PMemMB: 1024, Engine: cachekv.Engine(*engine)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer db.Close()
+	s := db.Session(0)
+	var key [16]byte
+	val := []byte(strings.Repeat("v", 64))
+	for i := 0; i < *ops; i++ {
+		copy(key[:], fmt.Sprintf("key%013d", i%(*ops/2+1)))
+		if i%4 == 3 {
+			if _, err := s.Get(key[:]); err != nil && err != cachekv.ErrNotFound {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		} else if err := s.Put(key[:], val); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if err := db.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	snap := db.Registry().Gather()
+	if *asJSON {
+		b, err := snap.MarshalSorted()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(string(b))
+		return 0
+	}
+	snap.WriteText(os.Stdout)
+	return 0
 }

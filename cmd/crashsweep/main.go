@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"cachekv/internal/faultinject"
 	"cachekv/internal/hw/cache"
+	"cachekv/internal/obs"
 )
 
 func main() {
@@ -45,10 +47,12 @@ func main() {
 	fault := flag.String("fault", "none", "fault mode for -crash-at replay")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent schedule runs")
 	verbose := flag.Bool("v", false, "log per-configuration event totals")
+	tracePath := flag.String("trace", "", "replay mode: write the annotated lifecycle event trace as JSONL here ('-' for stdout)")
+	reportPath := flag.String("report", "", "write sweep results as a cachekv.obs/v1 JSON report here")
 	flag.Parse()
 
 	if *crashAt > 0 {
-		os.Exit(replay(*engine, *domain, *seed, *ops, *crashAt, *fault))
+		os.Exit(replay(*engine, *domain, *seed, *ops, *crashAt, *fault, *tracePath))
 	}
 
 	specs, err := parseEngines(*engines)
@@ -84,6 +88,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("crashsweep: %d schedules, %d failures\n", stats.Runs, len(stats.Failures))
+	if *reportPath != "" {
+		if err := writeSweepReport(*reportPath, *engines, stats); err != nil {
+			fatal(err)
+		}
+	}
 	for _, r := range stats.Failures {
 		fmt.Printf("FAIL {%s}\n", r.Schedule)
 		for _, v := range r.Violations {
@@ -98,7 +107,40 @@ func main() {
 	}
 }
 
-func replay(engine, domain string, seed uint64, ops int, crashAt int64, fault string) int {
+// writeSweepReport emits the sweep's outcome in the shared report schema: one
+// run whose metrics carry schedule/failure counts plus each configuration's
+// crash-point-space size, and whose events list one entry per failure with
+// its full reproduction tuple.
+func writeSweepReport(path, engines string, stats *faultinject.SweepStats) error {
+	snap := &obs.Snapshot{Metrics: []obs.Metric{
+		{Name: "sweep_schedules", Kind: obs.KindCounter, Int: int64(stats.Runs)},
+		{Name: "sweep_failures", Kind: obs.KindCounter, Int: int64(len(stats.Failures))},
+	}}
+	keys := make([]string, 0, len(stats.EventTotals))
+	for k := range stats.EventTotals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		snap.Metrics = append(snap.Metrics, obs.Metric{
+			Name: "sweep_events_" + k, Kind: obs.KindCounter, Int: stats.EventTotals[k]})
+	}
+	run := obs.RunReport{Engine: engines, Workload: "crashsweep", Ops: int64(stats.Runs), Metrics: snap}
+	for i, f := range stats.Failures {
+		run.Events = append(run.Events, obs.Event{
+			Seq: uint64(i + 1), Type: "oracle_violation",
+			Attrs: map[string]any{
+				"schedule":  f.Schedule.String(),
+				"violation": f.Violations[0],
+			},
+		})
+	}
+	rep := obs.NewReport("crashsweep")
+	rep.Runs = append(rep.Runs, run)
+	return rep.WriteFile(path)
+}
+
+func replay(engine, domain string, seed uint64, ops int, crashAt int64, fault, tracePath string) int {
 	if engine == "" || domain == "" {
 		fatal(fmt.Errorf("replay mode needs -engine and -domain"))
 	}
@@ -115,7 +157,25 @@ func replay(engine, domain string, seed uint64, ops int, crashAt int64, fault st
 		fatal(err)
 	}
 	wl := faultinject.NewWorkload(seed, ops)
-	r := faultinject.RunSchedule(spec, doms[0], wl, crashAt, flts[0])
+	var tr *obs.Trace
+	if tracePath != "" {
+		tr = obs.NewTrace(obs.DefaultTraceCap)
+	}
+	r := faultinject.RunScheduleTraced(spec, doms[0], wl, crashAt, flts[0], tr)
+	if tr != nil {
+		out := os.Stdout
+		if tracePath != "-" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := tr.WriteJSONL(out); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("schedule {%s}: frozen=%v inflight=%d events=%d streamhash=%#x\n",
 		r.Schedule, r.Frozen, r.Inflight, r.Events, r.StreamHash)
 	if r.RecoveryRefused != nil {

@@ -21,6 +21,7 @@ import (
 	"cachekv/internal/hw/sim"
 	"cachekv/internal/kvstore"
 	"cachekv/internal/lsm"
+	"cachekv/internal/obs"
 	"cachekv/internal/pmemfs"
 	"cachekv/internal/util"
 	"cachekv/internal/wal"
@@ -39,6 +40,10 @@ type Options struct {
 	FSBytes       uint64
 	ManifestBytes uint64
 	LSM           lsm.Options
+
+	// Trace, when non-nil, receives lifecycle events (rotation, flush
+	// start/end, recovery). Every emit site is nil-safe.
+	Trace *obs.Trace
 }
 
 // DefaultOptions returns the scaled evaluation configuration.
@@ -201,6 +206,8 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*DB, error) {
 	})
 	db.walW = wal.NewWriterMode(m, db.walRegion, th, db.walMode())
 	if replayed > 0 {
+		opts.Trace.Emit(th.Clock.Now(), "recovery_end",
+			"engine", db.Name(), "replayed", replayed, "last_seq", db.seq)
 		// Push recovered data straight down to L0 so the logs stay reset.
 		db.sealActiveLocked(th)
 	}
@@ -335,6 +342,12 @@ func (db *DB) sealActiveLocked(th *hw.Thread) {
 	sealed := db.active
 	sealedTier := db.activeTie
 	sealedLog := db.logCur
+	tierName := "dram"
+	if sealedTier == tierPMem {
+		tierName = "pmem"
+	}
+	db.opts.Trace.Emit(th.Clock.Now(), "memtable_seal",
+		"tier", tierName, "bytes", sealed.ApproximateSize(), "entries", sealed.Len())
 
 	db.active.FlushRemainingSegment(th)
 	if sealedTier == tierDRAM {
@@ -396,11 +409,15 @@ func (db *DB) flusher() {
 		}
 		db.mu.Unlock()
 		th := db.m.NewThread(0)
+		th.Clock.SetLabel(hw.PhaseBgFlush.Layer())
 		th.Clock.AdvanceTo(job.sealedAt)
 		start := th.Clock.Now()
+		db.opts.Trace.Emit(start, "flush_start", "entries", job.mt.Len())
 		it := job.mt.NewIter()
 		err := db.tree.Flush(th, it, job.mt.MaxSeq())
 		done := db.flushServer.Submit(job.sealedAt, th.Clock.Now()-start)
+		db.opts.Trace.Emit(th.Clock.Now(), "flush_end",
+			"entries", job.mt.Len(), "ns", th.Clock.Now()-start)
 		db.mu.Lock()
 		if err != nil && db.failed == nil {
 			db.failed = err
@@ -456,9 +473,15 @@ func (db *DB) Get(th *hw.Thread, key []byte) ([]byte, error) {
 		}
 	}
 	if !res.Found {
-		v, fseq, found, deleted, err := db.tree.Get(th, key, snapshot)
-		if err != nil {
-			return nil, err
+		var v []byte
+		var fseq uint64
+		var found, deleted bool
+		var terr error
+		th.InPhase(hw.PhaseSST, func() {
+			v, fseq, found, deleted, terr = db.tree.Get(th, key, snapshot)
+		})
+		if terr != nil {
+			return nil, terr
 		}
 		if found {
 			res.Consider(v, fseq, util.KindValue)

@@ -21,6 +21,7 @@ import (
 	"cachekv/internal/hw/sim"
 	"cachekv/internal/kvstore"
 	"cachekv/internal/lsm"
+	"cachekv/internal/obs"
 	"cachekv/internal/pmemfs"
 	"cachekv/internal/util"
 )
@@ -35,6 +36,10 @@ type Options struct {
 	FSBytes       uint64
 	ManifestBytes uint64
 	LSM           lsm.Options
+
+	// Trace, when non-nil, receives lifecycle events (rotation, flush
+	// start/end, recovery). Every emit site is nil-safe.
+	Trace *obs.Trace
 }
 
 // DefaultOptions returns the scaled evaluation configuration.
@@ -170,6 +175,8 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*DB, error) {
 		db.zeroLogHead(th, log)
 	}
 	if replayed > 0 {
+		opts.Trace.Emit(th.Clock.Now(), "recovery_end",
+			"engine", db.Name(), "replayed", replayed, "last_seq", db.seq)
 		db.logBusy[0] = true
 		db.sealActiveLocked(th)
 	} else {
@@ -273,6 +280,8 @@ func (db *DB) write(th *hw.Thread, key, value []byte, kind util.ValueKind) error
 func (db *DB) sealActiveLocked(th *hw.Thread) {
 	sealed := db.active
 	sealedLog := db.logCur
+	db.opts.Trace.Emit(th.Clock.Now(), "memtable_seal",
+		"bytes", sealed.ApproximateSize(), "entries", sealed.Len())
 	sealed.FlushRemainingSegment(th)
 	next := db.logCur ^ 1
 	for db.logBusy[next] {
@@ -313,8 +322,10 @@ func (db *DB) flusher() {
 		}
 		db.mu.Unlock()
 		th := db.m.NewThread(0)
+		th.Clock.SetLabel(hw.PhaseBgFlush.Layer())
 		th.Clock.AdvanceTo(job.sealedAt)
 		start := th.Clock.Now()
+		db.opts.Trace.Emit(start, "flush_start", "entries", job.mt.Len())
 		before := db.tree.Files(1)
 		it := job.mt.NewIter()
 		err := db.tree.Flush(th, it, job.mt.MaxSeq())
@@ -331,6 +342,8 @@ func (db *DB) flusher() {
 			}
 		}
 		db.flushServer.Submit(job.sealedAt, th.Clock.Now()-start)
+		db.opts.Trace.Emit(th.Clock.Now(), "flush_end",
+			"entries", job.mt.Len(), "ns", th.Clock.Now()-start)
 		db.mu.Lock()
 		if err != nil && db.failed == nil {
 			db.failed = err
@@ -405,15 +418,22 @@ func (db *DB) Get(th *hw.Thread, key []byte) ([]byte, error) {
 		}
 	}
 	if !res.Found {
-		if loc, ok := db.index.Get(key, db.btCharge(th)); ok {
-			num := util.Fixed64(loc)
-			v, fseq, kind, found, err := db.tree.GetInTable(th, num, key, snapshot)
-			if err != nil {
-				return nil, err
+		var terr error
+		th.InPhase(hw.PhaseSST, func() {
+			if loc, ok := db.index.Get(key, db.btCharge(th)); ok {
+				num := util.Fixed64(loc)
+				v, fseq, kind, found, err := db.tree.GetInTable(th, num, key, snapshot)
+				if err != nil {
+					terr = err
+					return
+				}
+				if found {
+					res.Consider(v, fseq, kind)
+				}
 			}
-			if found {
-				res.Consider(v, fseq, kind)
-			}
+		})
+		if terr != nil {
+			return nil, terr
 		}
 	}
 	if !res.Found || res.Kind == util.KindDelete {

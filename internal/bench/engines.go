@@ -9,6 +9,7 @@ import (
 	"cachekv/internal/core"
 	"cachekv/internal/hw"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/obs"
 )
 
 // EngineKind enumerates every system the paper evaluates.
@@ -80,6 +81,13 @@ type EngineConfig struct {
 	// workload, as does SLM-DB-cache's (4 GiB); vanilla SLM-DB's 64 MiB
 	// MemTable holds ~8% of a 10M-op run, kept proportional here.
 	DataBytes uint64
+
+	// Obs enables per-layer hardware attribution on the machine (NewMachine
+	// calls EnableObs before any thread exists). Attribution never advances
+	// virtual clocks, so results are bit-identical either way.
+	Obs bool
+	// Trace, when non-nil, receives engine lifecycle events.
+	Trace *obs.Trace
 }
 
 // DefaultEngineConfig sizes the platform for experiment-scale runs.
@@ -97,7 +105,11 @@ func (c EngineConfig) NewMachine() *hw.Machine {
 	if c.PMemBytes > 0 {
 		cfg.PMemBytes = c.PMemBytes
 	}
-	return hw.NewMachine(cfg)
+	m := hw.NewMachine(cfg)
+	if c.Obs {
+		m.EnableObs()
+	}
+	return m
 }
 
 // Open builds engine kind on machine m.
@@ -143,6 +155,7 @@ func (c EngineConfig) Open(kind EngineKind, m *hw.Machine, th *hw.Thread) (kvsto
 			opts.LazyIndex = true
 			opts.SkiplistCompaction = false
 		}
+		opts.Trace = c.Trace
 		return core.Open(m, opts, th)
 	case NoveLSM, NoveLSMWoFlush, NoveLSMCache:
 		opts := novelsm.DefaultOptions()
@@ -157,6 +170,7 @@ func (c EngineConfig) Open(kind EngineKind, m *hw.Machine, th *hw.Thread) (kvsto
 			NoveLSMWoFlush: baseline.WithoutFlush,
 			NoveLSMCache:   baseline.CacheSegments,
 		}[kind]
+		opts.Trace = c.Trace
 		return novelsm.Open(m, opts, th)
 	case SLMDB, SLMDBWoFlush, SLMDBCache:
 		opts := slmdb.DefaultOptions()
@@ -176,6 +190,7 @@ func (c EngineConfig) Open(kind EngineKind, m *hw.Machine, th *hw.Thread) (kvsto
 			SLMDBWoFlush: baseline.WithoutFlush,
 			SLMDBCache:   baseline.CacheSegments,
 		}[kind]
+		opts.Trace = c.Trace
 		return slmdb.Open(m, opts, th)
 	default:
 		return nil, fmt.Errorf("bench: unknown engine kind %d", kind)

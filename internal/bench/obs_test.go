@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"testing"
+
+	"cachekv/internal/obs"
+)
+
+// runObsYCSBC runs a small YCSB-C and returns the result plus the runner and
+// trace (nil unless withObs). Single worker thread: with one foreground
+// thread the virtual schedule is fully deterministic (multi-thread runs
+// resolve lock contention in goroutine-arrival order, which varies run to
+// run), so two calls with the same arguments replay identically and the
+// zero-overhead comparison below can demand exact equality.
+func runObsYCSBC(t *testing.T, withObs bool) (Result, *Runner, *obs.Trace) {
+	t.Helper()
+	const (
+		records   = 2000
+		ops       = 4000
+		threads   = 1
+		valueSize = 64
+	)
+	cfg := DefaultEngineConfig()
+	cfg.DataBytes = uint64(records*2) * uint64(valueSize+40)
+	var tr *obs.Trace
+	if withObs {
+		cfg.Obs = true
+		tr = obs.NewTrace(obs.DefaultTraceCap)
+		cfg.Trace = tr
+	}
+	m := cfg.NewMachine()
+	th := m.NewThread(0)
+	db, err := cfg.Open(CacheKV, m, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(m, db)
+	if withObs {
+		r.Col = obs.NewCollector()
+	}
+	res, err := RunYCSB(r, YCSBC, records, ops, threads, valueSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withObs {
+		// Drain the XPBuffer so per-layer media totals are complete before the
+		// report snapshot.
+		if err := r.Settle(th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { db.Close(th) })
+	return res, r, tr
+}
+
+// TestYCSBCAttributionInvariants is the PR's acceptance check: a YCSB-C run
+// with attribution on must produce a report where (1) every invariant Verify
+// knows about holds, (2) summed foreground per-layer virtual ns equals the
+// threads' busy time within 1%, and (3) summed per-layer media write bytes
+// equal the PMem device's counter.
+func TestYCSBCAttributionInvariants(t *testing.T) {
+	res, r, tr := runObsYCSBC(t, true)
+	run := BuildRunReport(res, r, tr, false)
+
+	if bad := run.Verify(); len(bad) != 0 {
+		t.Fatalf("report invariants violated: %v", bad)
+	}
+	if len(run.OpStats) == 0 || len(run.Layers) == 0 {
+		t.Fatalf("report missing attribution: %d op stats, %d layers", len(run.OpStats), len(run.Layers))
+	}
+
+	// (2) Foreground ops (everything YCSB-C issues is foreground) account for
+	// the workers' entire busy time.
+	var fgNs int64
+	for _, st := range run.OpStats {
+		var sum int64
+		for _, l := range st.Layers {
+			sum += l.Ns
+		}
+		if d := sum - st.TotalNs; d > st.TotalNs/100 || -d > st.TotalNs/100 {
+			t.Fatalf("op %s: layer sum %d vs total %d exceeds 1%%", st.Op, sum, st.TotalNs)
+		}
+		fgNs += st.TotalNs
+	}
+	if res.ThreadVNs <= 0 {
+		t.Fatalf("ThreadVNs = %d", res.ThreadVNs)
+	}
+	if d := fgNs - res.ThreadVNs; d > res.ThreadVNs/100 || -d > res.ThreadVNs/100 {
+		t.Fatalf("foreground op ns %d vs thread busy ns %d exceeds 1%%", fgNs, res.ThreadVNs)
+	}
+
+	// (3) The layer table and the device counters are two views of the same
+	// media traffic.
+	var layerMedia int64
+	for _, l := range run.Layers {
+		layerMedia += l.MediaWriteB
+	}
+	devMedia := r.M.PMem.Counters.MediaWriteB.Load()
+	if layerMedia != devMedia {
+		t.Fatalf("layer media write bytes %d != device %d", layerMedia, devMedia)
+	}
+	if devMedia == 0 {
+		t.Fatal("no media writes recorded — workload too small to exercise the device")
+	}
+}
+
+// TestObsZeroVirtualOverhead pins the attribution design's core property: the
+// simulation is deterministic and spans only read clocks, so enabling
+// observability must not change virtual time at all — the same schedule, the
+// same elapsed ns, the same throughput.
+func TestObsZeroVirtualOverhead(t *testing.T) {
+	on, _, _ := runObsYCSBC(t, true)
+	off, _, _ := runObsYCSBC(t, false)
+	if on.ElapsedNs != off.ElapsedNs {
+		t.Fatalf("obs changed virtual elapsed time: on=%d off=%d", on.ElapsedNs, off.ElapsedNs)
+	}
+	if on.KopsPerSec != off.KopsPerSec {
+		t.Fatalf("obs changed throughput: on=%v off=%v", on.KopsPerSec, off.KopsPerSec)
+	}
+	if on.Ops != off.Ops {
+		t.Fatalf("op counts differ: on=%d off=%d", on.Ops, off.Ops)
+	}
+}
+
+// TestTraceCapturesLifecycle checks the engine actually feeds the event ring
+// during a write-heavy run (flushes must have happened at this data size).
+func TestTraceCapturesLifecycle(t *testing.T) {
+	_, _, tr := runObsYCSBC(t, true)
+	if tr.Seq() == 0 {
+		t.Fatal("no lifecycle events emitted")
+	}
+	types := map[string]bool{}
+	for _, ev := range tr.Events() {
+		types[ev.Type] = true
+	}
+	if !types["flush_start"] && !types["memtable_seal"] && !types["flush_end"] {
+		t.Fatalf("no flush lifecycle events in trace; saw %v", types)
+	}
+}

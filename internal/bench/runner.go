@@ -8,6 +8,7 @@ import (
 	"cachekv/internal/hw/pmem"
 	"cachekv/internal/hw/sim"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/obs"
 )
 
 // OpKind is one operation type in a mixed workload.
@@ -53,6 +54,7 @@ type Result struct {
 	Ops        int64
 	Threads    int
 	ElapsedNs  int64 // virtual wall time (max thread end - epoch)
+	ThreadVNs  int64 // summed per-thread busy time (Σ end - epoch)
 	KopsPerSec float64
 	Breakdown  hw.Breakdown
 	HW         pmem.CountersSnapshot // hardware counter delta over the phase
@@ -69,6 +71,7 @@ func (r Result) WriteHitRatio() float64 { return r.HW.WriteHitRatio() }
 type Runner struct {
 	M     *hw.Machine
 	DB    kvstore.DB
+	Col   *obs.Collector // optional per-op attribution sink (nil = off)
 	epoch int64
 }
 
@@ -118,9 +121,12 @@ func (r *Runner) Run(w Workload) (Result, error) {
 				op := start + i
 				key := w.Keys.Key(keyBuf, op, rng)
 				kind := pickOp(w.Mix, rng)
+				sp := r.Col.StartOp(th, spanOp(kind))
 				// The benchmark client's own per-op work (key generation,
 				// dispatch, stats) — identical for every engine.
-				th.Clock.Advance(r.M.Costs.ClientOp)
+				th.InPhase(hw.PhaseClient, func() {
+					th.Clock.Advance(r.M.Costs.ClientOp)
+				})
 				opStart := th.Clock.Now()
 				var err error
 				switch kind {
@@ -153,6 +159,7 @@ func (r *Runner) Run(w Workload) (Result, error) {
 					return
 				}
 				res.Latency.Record(th.Clock.Now() - opStart)
+				sp.End()
 			}
 			mu.Lock()
 			if end := th.Clock.Now(); end > maxEnd {
@@ -168,6 +175,7 @@ func (r *Runner) Run(w Workload) (Result, error) {
 	}
 	for _, th := range threads {
 		res.Breakdown.Add(th.PhaseBreakdown())
+		res.ThreadVNs += th.Clock.Now() - r.epoch
 	}
 	res.ElapsedNs = maxEnd - r.epoch
 	if res.ElapsedNs > 0 {
@@ -176,6 +184,20 @@ func (r *Runner) Run(w Workload) (Result, error) {
 	res.HW = r.M.PMem.Snapshot().Sub(hwBefore)
 	r.epoch = maxEnd
 	return res, nil
+}
+
+// spanOp maps a workload op kind to its attribution op type.
+func spanOp(k OpKind) obs.Op {
+	switch k {
+	case OpPut:
+		return obs.OpPut
+	case OpDelete:
+		return obs.OpDelete
+	case OpRMW:
+		return obs.OpRMW
+	default:
+		return obs.OpGet
+	}
 }
 
 // pickOp selects the op kind for one draw.
@@ -198,7 +220,9 @@ func (r *Runner) Settle(th *hw.Thread) error {
 	if err := r.DB.FlushAll(th); err != nil {
 		return err
 	}
-	r.M.PMem.Flush(th.Clock)
+	th.InPhase(hw.PhaseSettle, func() {
+		r.M.PMem.Flush(th.Clock)
+	})
 	if now := th.Clock.Now(); now > r.epoch {
 		r.epoch = now
 	}

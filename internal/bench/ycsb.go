@@ -52,11 +52,18 @@ func (s YCSBSpec) workload(records, ops int64, threads, valueSize int) Workload 
 }
 
 // RunYCSB executes the load phase followed by spec (unless spec is the load
-// itself) and returns the measured phase's result.
+// itself) and returns the measured phase's result. When the runner carries an
+// attribution collector it is detached during the load, so per-op stats (and
+// the thread-busy-time invariant they must satisfy) cover exactly the
+// measured phase.
 func RunYCSB(r *Runner, spec YCSBSpec, records, ops int64, threads, valueSize int) (Result, error) {
 	if spec.Name != "Load" {
 		load := YCSBLoad.workload(records, records, threads, valueSize)
-		if _, err := r.Run(load); err != nil {
+		col := r.Col
+		r.Col = nil
+		_, err := r.Run(load)
+		r.Col = col
+		if err != nil {
 			return Result{}, fmt.Errorf("ycsb load: %w", err)
 		}
 	}

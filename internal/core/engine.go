@@ -13,6 +13,7 @@ import (
 	"cachekv/internal/hw/sim"
 	"cachekv/internal/kvstore"
 	"cachekv/internal/lsm"
+	"cachekv/internal/obs"
 	"cachekv/internal/pmemfs"
 	"cachekv/internal/util"
 )
@@ -41,6 +42,11 @@ type Options struct {
 	FSBytes       uint64 // PMem file-layer capacity for SSTables (256 MiB)
 	ManifestBytes uint64 // manifest log capacity (4 MiB)
 	LSM           lsm.Options
+
+	// Trace, when non-nil, receives lifecycle events (flush start/end,
+	// sub-MemTable seals, spills, compactions, recovery, block-cache eviction
+	// pressure). nil disables tracing; every emit site is nil-safe.
+	Trace *obs.Trace
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -152,6 +158,9 @@ type Engine struct {
 	stats  Stats
 	failed atomic.Pointer[error]
 	closed atomic.Bool
+
+	trace        *obs.Trace
+	lastBCEvicts atomic.Int64 // block-cache evictions at last pressure event
 }
 
 var (
@@ -171,6 +180,7 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	e := &Engine{
 		m:         m,
 		opts:      opts,
+		trace:     opts.Trace,
 		mem:       newMemState(expectedSlotKeys(opts.ImmZoneBytes), filterBits),
 		flushCh:   make(chan *slot, 1024),
 		syncCh:    make(chan syncReq, 4096),
@@ -220,9 +230,19 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	e.maxSpilledSeq.Store(e.tree.LastSeq())
 
 	if recovered {
-		if err := e.recover(poolRegion, th); err != nil {
-			return nil, err
+		e.trace.Emit(th.Clock.Now(), "recovery_start", "engine", e.Name())
+		var rerr error
+		th.InPhase(hw.PhaseRecovery, func() {
+			rerr = e.recover(poolRegion, th)
+		})
+		if rerr != nil {
+			return nil, rerr
 		}
+		e.mem.mu.RLock()
+		nImms := len(e.mem.imms)
+		e.mem.mu.RUnlock()
+		e.trace.Emit(th.Clock.Now(), "recovery_end",
+			"imm_tables", nImms, "filters_rebuilt", nImms, "last_seq", e.seq.Load())
 	} else {
 		e.pool, err = newPool(m, poolRegion, part, opts.SubMemTableBytes, m.Cores(), opts.Elastic, opts.MissThreshold, th)
 		if err != nil {
@@ -311,6 +331,19 @@ func (e *Engine) Name() string {
 // GetStats returns the engine's counters.
 func (e *Engine) GetStats() *Stats { return &e.stats }
 
+// RegisterObs publishes the engine's internal counters on r (obs.RegisterKV
+// discovers this via the ObsRegistrar interface).
+func (e *Engine) RegisterObs(r *obs.Registry) {
+	r.Counter("engine_puts", func() int64 { return e.stats.Puts.Load() })
+	r.Counter("engine_gets", func() int64 { return e.stats.Gets.Load() })
+	r.Counter("engine_deletes", func() int64 { return e.stats.Deletes.Load() })
+	r.Counter("engine_flushes", func() int64 { return e.stats.Flushes.Load() })
+	r.Counter("engine_spills", func() int64 { return e.stats.Spills.Load() })
+	r.Counter("engine_compactions", func() int64 { return e.stats.Compactions.Load() })
+	r.Counter("engine_read_syncs", func() int64 { return e.stats.ReadSyncs.Load() })
+	r.Counter("engine_pool_slots", func() int64 { return int64(e.pool.numSlots()) })
+}
+
 // FilterStats reports memory-component negative-filter probes and rejections.
 func (e *Engine) FilterStats() (probes, negatives int64) {
 	return e.stats.FilterProbes.Load(), e.stats.FilterNegatives.Load()
@@ -393,6 +426,9 @@ func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind) er
 		if tail+need > s.dataCap() {
 			// Full: seal, queue the copy-based flush, grab a fresh one.
 			if sealed := e.pool.sealForCore(th, core); sealed != nil {
+				cnt, _, stail := unpackHdr(sealed.hdr.Load())
+				e.trace.Emit(th.Clock.Now(), "memtable_seal",
+					"slot", sealed.idx, "entries", cnt, "bytes", stail)
 				e.pendingFlushes.Add(1)
 				e.flushCh <- sealed
 			}
@@ -542,9 +578,15 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 	// 3. The LSM tree — skippable when the memory component already holds a
 	// version newer than anything ever spilled.
 	if !res.Found || res.Seq <= e.maxSpilledSeq.Load() {
-		v, fseq, found, deleted, err := e.tree.Get(th, key, snapshot)
-		if err != nil {
-			return nil, err
+		var v []byte
+		var fseq uint64
+		var found, deleted bool
+		var terr error
+		th.InPhase(hw.PhaseSST, func() {
+			v, fseq, found, deleted, terr = e.tree.Get(th, key, snapshot)
+		})
+		if terr != nil {
+			return nil, terr
 		}
 		if found {
 			res.Consider(v, fseq, util.KindValue)

@@ -106,9 +106,11 @@ func (e *Engine) spillLoop() {
 		th := e.m.NewThread(0)
 		th.Clock.AdvanceTo(at)
 		start := th.Clock.Now()
-		e.spillMu.Lock()
-		e.spillLocked(th)
-		e.spillMu.Unlock()
+		th.InPhase(hw.PhaseSpill, func() {
+			e.spillMu.Lock()
+			e.spillLocked(th)
+			e.spillMu.Unlock()
+		})
 		done := e.spillServer.Submit(at, th.Clock.Now()-start)
 		e.spillState.mu.Lock()
 		if done > e.spillState.doneV {
@@ -120,8 +122,13 @@ func (e *Engine) spillLoop() {
 		// virtual cost still occupies this background server, delaying
 		// future spills exactly as LevelDB's single compaction thread would.
 		cstart := th.Clock.Now()
-		if err := e.tree.MaybeCompact(th); err != nil {
-			e.fail(err)
+		th.InPhase(hw.PhaseCompact, func() {
+			if err := e.tree.MaybeCompact(th); err != nil {
+				e.fail(err)
+			}
+		})
+		if dur := th.Clock.Now() - cstart; dur > 0 {
+			e.trace.Emit(th.Clock.Now(), "lsm_compaction", "ns", dur)
 		}
 		e.spillServer.Submit(done, th.Clock.Now()-cstart)
 	}
@@ -166,8 +173,10 @@ func (e *Engine) flushOne(s *slot) {
 		return
 	}
 	th := e.m.NewThread(0)
+	th.Clock.SetLabel(hw.PhaseBgFlush.Layer())
 	th.Clock.AdvanceTo(s.sealedAt.Load())
 	start := th.Clock.Now()
+	e.trace.Emit(start, "flush_start", "slot", s.idx)
 	var stallNs int64
 	// Fixed per-flush dispatch and metadata cost: the reason over-small
 	// sub-MemTables hurt write throughput (the paper's Exp#6 left side).
@@ -178,6 +187,7 @@ func (e *Engine) flushOne(s *slot) {
 	// moves to the ImmZone registry), but its virtual time is billed to the
 	// dedicated index thread, which overlaps with the copy-based flush.
 	syncTh := e.m.NewThread(0)
+	syncTh.Clock.SetLabel(hw.PhaseIndex.Layer())
 	syncTh.Clock.AdvanceTo(s.sealedAt.Load())
 	e.syncSlot(syncTh, s)
 	indexDoneV := e.indexServer.Submit(s.sealedAt.Load(), syncTh.Clock.Now()-s.sealedAt.Load())
@@ -280,6 +290,18 @@ func (e *Engine) flushOne(s *slot) {
 		}
 	}
 
+	e.trace.Emit(th.Clock.Now(), "flush_end",
+		"slot", s.idx, "bytes", tail, "entries", count, "stall_ns", stallNs)
+	// Block-cache eviction pressure: surface sustained churn as a trace event
+	// (every 1024 new evictions) so read-path regressions are visible in the
+	// lifecycle stream, not only as an aggregate hit ratio.
+	if e.trace != nil {
+		if ev := e.tree.CacheStats().Evictions; ev-e.lastBCEvicts.Load() >= 1024 {
+			e.lastBCEvicts.Store(ev)
+			e.trace.Emit(th.Clock.Now(), "block_cache_pressure", "evictions", ev)
+		}
+	}
+
 	if e.immArena.Used() > uint64(float64(e.immArena.Region().Size)*e.opts.SpillFraction) {
 		e.requestSpill(th.Clock.Now())
 	}
@@ -328,6 +350,7 @@ func (e *Engine) spillLocked(th *hw.Thread) {
 	if len(imms) == 0 {
 		return
 	}
+	e.trace.Emit(th.Clock.Now(), "spill_start", "tables", len(imms))
 	// The spill merges via the sub-skiplists, so it cannot start before the
 	// index thread has finished syncing every table it covers: under
 	// sustained load the single index thread is the pipeline's ceiling,
@@ -382,6 +405,7 @@ func (e *Engine) spillLocked(th *hw.Thread) {
 		e.m.Cache.NTWrite(th.Clock, e.immArena.Region().Addr, zero)
 	}
 	e.stats.Spills.Add(1)
+	e.trace.Emit(th.Clock.Now(), "spill_end", "tables", len(imms), "max_seq", maxSeq)
 }
 
 // syncReq is one trigger-2 lazy-sync request with the virtual time it was
@@ -405,6 +429,7 @@ func (e *Engine) indexLoop() {
 				return
 			}
 			th := e.m.NewThread(0)
+			th.Clock.SetLabel(hw.PhaseIndex.Layer())
 			th.Clock.AdvanceTo(req.at)
 			e.syncSlot(th, req.s)
 			e.indexServer.Submit(req.at, th.Clock.Now()-req.at)
@@ -413,6 +438,7 @@ func (e *Engine) indexLoop() {
 				return
 			}
 			th := e.m.NewThread(0)
+			th.Clock.SetLabel(hw.PhaseCompact.Layer())
 			start := th.Clock.Now()
 			e.runCompaction(th)
 			e.indexServer.Submit(start, th.Clock.Now()-start)
@@ -446,5 +472,6 @@ func (e *Engine) runCompaction(th *hw.Thread) {
 	}
 	if len(todo) > 0 {
 		e.stats.Compactions.Add(1)
+		e.trace.Emit(th.Clock.Now(), "skiplist_compaction", "tables", len(todo))
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"cachekv/internal/hw"
 	"cachekv/internal/hw/cache"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/obs"
 )
 
 // EngineSpec describes one engine variant the harness can explore.
@@ -21,6 +22,18 @@ type EngineSpec struct {
 	// oracle under ADR; under eADR every engine is held to full durability.
 	DurableADR bool
 	Open       func(m *hw.Machine, th *hw.Thread) (kvstore.DB, error)
+	// OpenTraced, when non-nil, is Open with a lifecycle-event trace wired
+	// into the engine, so replayed schedules interleave engine events
+	// (flushes, rotations, recovery) with the harness's crash annotations.
+	OpenTraced func(m *hw.Machine, th *hw.Thread, tr *obs.Trace) (kvstore.DB, error)
+}
+
+// open dispatches to OpenTraced when a trace is wanted and wired.
+func (s EngineSpec) open(m *hw.Machine, th *hw.Thread, tr *obs.Trace) (kvstore.DB, error) {
+	if tr != nil && s.OpenTraced != nil {
+		return s.OpenTraced(m, th, tr)
+	}
+	return s.Open(m, th)
 }
 
 // MachineConfig is the scaled-down platform the harness runs schedules on:
@@ -65,6 +78,13 @@ func cacheKVSpec(name string, lazyIndex, listCompaction bool) EngineSpec {
 			o.SkiplistCompaction = listCompaction
 			return core.Open(m, o, th)
 		},
+		OpenTraced: func(m *hw.Machine, th *hw.Thread, tr *obs.Trace) (kvstore.DB, error) {
+			o := coreOptions()
+			o.LazyIndex = lazyIndex
+			o.SkiplistCompaction = listCompaction
+			o.Trace = tr
+			return core.Open(m, o, th)
+		},
 	}
 }
 
@@ -78,17 +98,26 @@ func novelsmSpec(name string, v baseline.Variant) EngineSpec {
 		// durability.
 		DurableADR: v == baseline.Vanilla,
 		Open: func(m *hw.Machine, th *hw.Thread) (kvstore.DB, error) {
-			o := novelsm.DefaultOptions()
-			o.Variant = v
-			o.DRAMMemBytes = 1 << 20
-			o.PMemMemBytes = 4 << 20
-			o.SegmentBytes = 1 << 20
-			o.WALBytes = 8 << 20
-			o.NodeBytes = 16 << 20
-			o.FSBytes = 32 << 20
-			return novelsm.Open(m, o, th)
+			return novelsm.Open(m, novelsmOptions(v, nil), th)
+		},
+		OpenTraced: func(m *hw.Machine, th *hw.Thread, tr *obs.Trace) (kvstore.DB, error) {
+			return novelsm.Open(m, novelsmOptions(v, tr), th)
 		},
 	}
+}
+
+// novelsmOptions is the scaled NoveLSM harness configuration.
+func novelsmOptions(v baseline.Variant, tr *obs.Trace) novelsm.Options {
+	o := novelsm.DefaultOptions()
+	o.Variant = v
+	o.DRAMMemBytes = 1 << 20
+	o.PMemMemBytes = 4 << 20
+	o.SegmentBytes = 1 << 20
+	o.WALBytes = 8 << 20
+	o.NodeBytes = 16 << 20
+	o.FSBytes = 32 << 20
+	o.Trace = tr
+	return o
 }
 
 func slmdbSpec(name string, v baseline.Variant) EngineSpec {
@@ -96,15 +125,24 @@ func slmdbSpec(name string, v baseline.Variant) EngineSpec {
 		Name:       name,
 		DurableADR: v == baseline.Vanilla,
 		Open: func(m *hw.Machine, th *hw.Thread) (kvstore.DB, error) {
-			o := slmdb.DefaultOptions()
-			o.Variant = v
-			o.MemBytes = 4 << 20
-			o.SegmentBytes = 1 << 20
-			o.NodeBytes = 16 << 20
-			o.FSBytes = 32 << 20
-			return slmdb.Open(m, o, th)
+			return slmdb.Open(m, slmdbOptions(v, nil), th)
+		},
+		OpenTraced: func(m *hw.Machine, th *hw.Thread, tr *obs.Trace) (kvstore.DB, error) {
+			return slmdb.Open(m, slmdbOptions(v, tr), th)
 		},
 	}
+}
+
+// slmdbOptions is the scaled SLM-DB harness configuration.
+func slmdbOptions(v baseline.Variant, tr *obs.Trace) slmdb.Options {
+	o := slmdb.DefaultOptions()
+	o.Variant = v
+	o.MemBytes = 4 << 20
+	o.SegmentBytes = 1 << 20
+	o.NodeBytes = 16 << 20
+	o.FSBytes = 32 << 20
+	o.Trace = tr
+	return o
 }
 
 // AllEngines returns a spec for every engine variant the repository ships:

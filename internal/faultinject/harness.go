@@ -7,6 +7,7 @@ import (
 	"cachekv/internal/hw"
 	"cachekv/internal/hw/cache"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/obs"
 )
 
 // Schedule identifies one crash run completely; re-running a schedule
@@ -113,6 +114,13 @@ func CountEvents(spec EngineSpec, domain cache.Domain, wl *Workload) (int64, uin
 // platform, halt the engine, apply the persistence-domain rule and any media
 // fault, recover, and check the oracle.
 func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int64, fault Fault) *Result {
+	return RunScheduleTraced(spec, domain, wl, crashAt, fault, nil)
+}
+
+// RunScheduleTraced is RunSchedule with crash-point annotations emitted into
+// tr (nil-safe), so a replayed schedule's event trace shows exactly where the
+// injected crash and media fault landed relative to engine lifecycle events.
+func RunScheduleTraced(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int64, fault Fault, tr *obs.Trace) *Result {
 	res := &Result{
 		Schedule: Schedule{
 			Engine:       spec.Name,
@@ -126,7 +134,7 @@ func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int
 	}
 	m := NewMachine(domain)
 	th := m.NewThread(0)
-	db, err := spec.Open(m, th)
+	db, err := spec.open(m, th, tr)
 	if err != nil {
 		res.Violations = append(res.Violations, fmt.Sprintf("initial open failed: %v", err))
 		return res
@@ -136,6 +144,8 @@ func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int
 	inj.Arm(crashAt, fault, scheduleSeed(wl.Seed, crashAt, fault))
 	m.SetMemGate(inj.Gate)
 	wth := m.NewThread(1)
+	tr.Emit(wth.Clock.Now(), "crash_armed",
+		"engine", spec.Name, "crash_at", crashAt, "fault", fault.String())
 	for i, op := range wl.Ops {
 		if err := applyOp(db, wth, op); err != nil && !inj.Frozen() {
 			res.Violations = append(res.Violations,
@@ -151,6 +161,10 @@ func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int
 	}
 	res.Frozen = inj.Frozen()
 	res.Events = inj.Events()
+	if res.Frozen {
+		tr.Emit(wth.Clock.Now(), "crash_frozen",
+			"inflight_op", res.Inflight, "events", res.Events)
+	}
 
 	// Power failure: preempt the engine, apply the domain rule while
 	// partitions are still pinned (the eADR drain must see them), then tear
@@ -170,6 +184,7 @@ func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int
 			m.PMem.LoadRaw(addr, b[:])
 			b[0] ^= 1 << bit
 			m.PMem.StoreRaw(addr, b[:])
+			tr.Emit(th.Clock.Now(), "media_fault", "addr", addr, "bit", bit)
 		}
 	}
 	m.Recover()
@@ -180,6 +195,7 @@ func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int
 	// engine refuses to mount) — refusing service is honest, fabricating
 	// data is not.
 	th2 := m.NewThread(0)
+	tr.Emit(th2.Clock.Now(), "recovery_open", "engine", spec.Name)
 	var db2 kvstore.DB
 	openErr := func() (err error) {
 		defer func() {
@@ -188,12 +204,13 @@ func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int
 				res.Violations = append(res.Violations, err.Error())
 			}
 		}()
-		db2, err = spec.Open(m, th2)
+		db2, err = spec.open(m, th2, tr)
 		return err
 	}()
 	if db2 == nil {
 		if fault == FaultFlip && len(res.Violations) == 0 {
 			res.RecoveryRefused = openErr
+			tr.Emit(th2.Clock.Now(), "recovery_refused", "err", openErr.Error())
 			return res
 		}
 		if openErr != nil && len(res.Violations) == 0 {
@@ -222,6 +239,8 @@ func RunSchedule(spec EngineSpec, domain cache.Domain, wl *Workload, crashAt int
 		}
 		_ = db2.Close(th2)
 	}()
+	tr.Emit(th2.Clock.Now(), "oracle_done",
+		"violations", len(res.Violations), "recovered_keys", len(res.Recovered))
 	return res
 }
 

@@ -86,6 +86,85 @@ func TestString(t *testing.T) {
 	}
 }
 
+func TestSingleSample(t *testing.T) {
+	h := New()
+	h.Record(12345)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if v := h.Percentile(p); v != 12345 {
+			t.Fatalf("p%v of single sample = %v, want 12345", p, v)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 1 || s.MinNs != 12345 || s.MaxNs != 12345 || s.MeanNs != 12345 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
+func TestMaxBucketOverflow(t *testing.T) {
+	// Values beyond the last finite bucket limit (~100 s) land in the
+	// MaxInt64 catch-all; percentiles must interpolate against the observed
+	// max rather than the sentinel limit.
+	h := New()
+	huge := int64(5e11)
+	h.Record(huge)
+	h.Record(huge * 2)
+	if got := h.Percentile(100); got != float64(huge*2) {
+		t.Fatalf("p100 = %v, want %v", got, float64(huge*2))
+	}
+	if got := h.Percentile(50); got > float64(huge*2) || got < float64(huge) {
+		t.Fatalf("p50 = %v outside observed range [%d, %d]", got, huge, huge*2)
+	}
+	if h.Max() != huge*2 || h.Min() != huge {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := New().Summary()
+	if s.Count != 0 || s.MeanNs != 0 || s.P50Ns != 0 || s.P99Ns != 0 || s.MinNs != 0 || s.MaxNs != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestConcurrentRecordAndRead(t *testing.T) {
+	// Writers hammer Record while readers take percentiles and summaries;
+	// run under -race this pins the locking discipline.
+	h := New()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 20000; i++ {
+				h.Record(int64(w*100 + i%997))
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.Percentile(99)
+					_ = h.Summary()
+					_ = h.Mean()
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
 func TestPercentileMonotone(t *testing.T) {
 	h := New()
 	for i := 0; i < 10000; i++ {

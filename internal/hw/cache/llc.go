@@ -325,6 +325,9 @@ func (c *LLC) install(clk *sim.Clock, s *set, addr uint64, p PartitionID) int {
 		}
 		c.statMu.Unlock()
 		if v.dirty {
+			if cell := clk.Cell(); cell != nil {
+				cell.LLCWritebackLines.Add(1)
+			}
 			c.dev.WriteLines(clk, v.addr, v.data[:])
 		}
 	}
@@ -494,6 +497,9 @@ func (c *LLC) lockedWrite(clk *sim.Clock, lr *lockedRegion, base uint64, off int
 				lr.fifo = lr.fifo[1:]
 				if v, present := lr.lines[old]; present {
 					if v.dirty {
+						if cell := clk.Cell(); cell != nil {
+							cell.LLCWritebackLines.Add(1)
+						}
 						c.dev.WriteLines(clk, old, v.data[:])
 					}
 					delete(lr.lines, old)
@@ -605,6 +611,9 @@ func (c *LLC) flushRange(clk *sim.Clock, addr uint64, n int, invalidate bool) {
 				c.statMu.Lock()
 				c.stats.Flushes++
 				c.statMu.Unlock()
+				if cell := clk.Cell(); cell != nil {
+					cell.LLCFlushLines.Add(1)
+				}
 				c.dev.WriteLines(clk, base, ln.data[:])
 				ln.dirty = false
 			}
@@ -620,6 +629,9 @@ func (c *LLC) flushRange(clk *sim.Clock, addr uint64, n int, invalidate bool) {
 					c.statMu.Lock()
 					c.stats.Flushes++
 					c.statMu.Unlock()
+					if cell := clk.Cell(); cell != nil {
+						cell.LLCFlushLines.Add(1)
+					}
 					c.dev.WriteLines(clk, base, ln.data[:])
 					ln.dirty = false
 				}

@@ -54,6 +54,8 @@ type Machine struct {
 
 	threadSeq atomic.Int64
 	crashed   atomic.Bool
+
+	obsTally *sim.MemTally // per-layer hardware attribution; nil until EnableObs
 }
 
 // Region is a named, contiguous range of PMem physical addresses.
@@ -90,6 +92,21 @@ func NewMachine(cfg Config) *Machine {
 
 // Cores returns the configured core count.
 func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// EnableObs turns on per-layer hardware attribution for this platform. It
+// must be called before any thread is created: the tally is attached to each
+// clock at NewThread time, so threads made earlier are not tracked. Enabling
+// observability adds zero virtual time — tallies are host-side atomic adds.
+func (m *Machine) EnableObs() {
+	if m.obsTally == nil {
+		m.obsTally = &sim.MemTally{}
+	}
+}
+
+// ObsTally returns the platform's attribution tally, or nil when EnableObs
+// was never called. sim.MemTally's Snapshot is nil-safe, so callers may use
+// the result unconditionally.
+func (m *Machine) ObsTally() *sim.MemTally { return m.obsTally }
 
 // Alloc reserves size bytes of PMem address space under name, aligned to
 // align (which must be a power of two; 0 means XPLine alignment). Allocation
@@ -157,7 +174,10 @@ func (m *Machine) Crashed() bool { return m.crashed.Load() }
 // Phase labels the write-path segments the paper's Figure 5(b) breaks down.
 type Phase int
 
-// Phases of a KV operation, for latency breakdown accounting.
+// Phases of a KV operation, for latency breakdown accounting. The first six
+// are the paper's Figure 5(b) write-path segments; the rest label background
+// and lifecycle work for the observability layer (appended so existing
+// Breakdown indices are stable).
 const (
 	PhaseWAL Phase = iota
 	PhaseLock
@@ -165,13 +185,42 @@ const (
 	PhaseAppend
 	PhaseFlushInstr
 	PhaseOther
+	PhaseSST      // storage-component (SSTable / persistent tree) access
+	PhaseBgFlush  // background memtable flush
+	PhaseSpill    // ImmZone → L0 spill
+	PhaseCompact  // compaction (skiplist merge or LSM level merge)
+	PhaseRecovery // post-crash recovery (scan, filter rebuild, index rebuild)
+	PhaseSettle   // end-of-run quiesce (engine flush + XPBuffer drain)
+	PhaseClient   // modelled client-side overhead per op
 	numPhases
 )
 
-var phaseNames = [numPhases]string{"wal", "lock", "index", "append", "flush", "other"}
+// NumPhases is the number of defined phases, exported for attribution code.
+const NumPhases = int(numPhases)
+
+var phaseNames = [numPhases]string{
+	"wal", "lock", "index", "append", "flush", "other",
+	"sst", "bgflush", "spill", "compact", "recovery", "settle", "client",
+}
 
 // String returns the phase's short name.
 func (p Phase) String() string { return phaseNames[p] }
+
+// Layer returns the attribution-layer index for this phase in a sim.MemTally.
+// Layer 0 is reserved for unlabeled ("direct") work, so phases map to 1..N.
+func (p Phase) Layer() int32 { return int32(p) + 1 }
+
+// NumLayers is the number of attribution layers in use (direct + one per
+// phase). Always ≤ sim.MaxLayers.
+const NumLayers = NumPhases + 1
+
+// LayerName names attribution layer i ("direct" for 0, the phase name after).
+func LayerName(i int) string {
+	if i <= 0 || i > NumPhases {
+		return "direct"
+	}
+	return phaseNames[i-1]
+}
 
 // Breakdown is virtual nanoseconds accumulated per phase.
 type Breakdown [numPhases]int64
@@ -201,6 +250,15 @@ func (b Breakdown) Fraction(p Phase) float64 {
 	return float64(b[p]) / float64(t)
 }
 
+// Sub returns the per-phase delta b - o, for span-style interval accounting.
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	var d Breakdown
+	for i := range b {
+		d[i] = b[i] - o[i]
+	}
+	return d
+}
+
 // Thread is one simulated execution context (a user thread pinned to a
 // core, or a background thread). It owns a virtual clock, a deterministic
 // RNG, and per-phase accounting.
@@ -216,12 +274,14 @@ type Thread struct {
 // NewThread creates a thread pinned to core (wrapped modulo the core count).
 func (m *Machine) NewThread(core int) *Thread {
 	id := m.threadSeq.Add(1)
-	return &Thread{
+	th := &Thread{
 		Clock: &sim.Clock{},
 		Core:  core % m.cfg.Cores,
 		RNG:   sim.NewRNG(uint64(id) * 0x9e3779b97f4a7c15),
 		costs: m.Costs,
 	}
+	th.Clock.SetTally(m.obsTally)
+	return th
 }
 
 // ChargeDRAM charges n DRAM accesses to the thread.
@@ -234,10 +294,15 @@ func (t *Thread) ChargeCPU(n int) { t.Clock.Advance(int64(n) * t.costs.BranchOp)
 func (t *Thread) ChargeAtomic() { t.Clock.Advance(t.costs.AtomicOp) }
 
 // InPhase runs fn and attributes the virtual time it consumed to phase p.
+// While fn runs, hardware events issued by this thread are tallied under the
+// phase's attribution layer (restoring the previous label on return, so
+// phases nest).
 func (t *Thread) InPhase(p Phase, fn func()) {
+	prev := t.Clock.SetLabel(p.Layer())
 	start := t.Clock.Now()
 	fn()
 	t.phases[p] += t.Clock.Now() - start
+	t.Clock.SetLabel(prev)
 }
 
 // AddPhase directly attributes ns virtual nanoseconds to phase p.

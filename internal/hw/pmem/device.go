@@ -217,6 +217,9 @@ func (d *Device) writeLines(clk *sim.Clock, addr uint64, data []byte, chargeAcce
 	}
 	d.storeRaw(addr, data)
 	d.Counters.CallerWriteB.Add(int64(len(data)))
+	if cell := clk.Cell(); cell != nil {
+		cell.CallerWriteB.Add(int64(len(data)))
+	}
 	for off := uint64(0); off < uint64(len(data)); off += cls {
 		d.acceptLine(clk, addr+off, chargeAccept)
 	}
@@ -227,12 +230,19 @@ func (d *Device) writeLines(clk *sim.Clock, addr uint64, data []byte, chargeAcce
 func (d *Device) acceptLine(clk *sim.Clock, addr uint64, chargeAccept bool) {
 	base, bit := d.lineMaskFor(addr)
 	full := d.fullMask()
+	cell := clk.Cell()
 
 	d.bufMu.Lock()
 	d.Counters.LineArrivals.Add(1)
+	if cell != nil {
+		cell.LineArrivals.Add(1)
+	}
 	e, ok := d.buf[base]
 	if ok {
 		d.Counters.LineHits.Add(1)
+		if cell != nil {
+			cell.LineHits.Add(1)
+		}
 		e.mask |= bit
 		if e.mask == full {
 			// A completed XPLine drains to media immediately; this is the
@@ -285,11 +295,20 @@ func (d *Device) acceptLine(clk *sim.Clock, addr uint64, chargeAccept bool) {
 // threads at different virtual-time bases turned it into a causality
 // violation rather than a throughput limit.
 func (d *Device) drainXPLine(clk *sim.Clock, base uint64, mask uint8) {
+	cell := clk.Cell()
 	d.Counters.XPLineEvicts.Add(1)
 	d.Counters.MediaWriteB.Add(d.costs.XPLineSize)
+	if cell != nil {
+		cell.XPLineEvicts.Add(1)
+		cell.MediaWriteB.Add(d.costs.XPLineSize)
+	}
 	if mask != d.fullMask() {
 		d.Counters.RMWEvicts.Add(1)
 		d.Counters.MediaReadB.Add(d.costs.XPLineSize)
+		if cell != nil {
+			cell.RMWEvicts.Add(1)
+			cell.MediaReadB.Add(d.costs.XPLineSize)
+		}
 		clk.Advance(d.costs.RMWPenalty)
 	}
 	perLine := d.costs.MediaWrite / d.costs.DIMMs
@@ -342,6 +361,7 @@ func (d *Device) Read(clk *sim.Clock, addr uint64, buf []byte) {
 		return
 	}
 	d.loadRaw(addr, buf)
+	cell := clk.Cell()
 	xls := uint64(d.costs.XPLineSize)
 	first := addr &^ (xls - 1)
 	last := (addr + uint64(len(buf)) - 1) &^ (xls - 1)
@@ -355,9 +375,15 @@ func (d *Device) Read(clk *sim.Clock, addr uint64, buf []byte) {
 		case line == prev+xls:
 			clk.Advance(d.costs.PMemReadSeq)
 			d.Counters.MediaReadB.Add(int64(xls))
+			if cell != nil {
+				cell.MediaReadB.Add(int64(xls))
+			}
 		default:
 			clk.Advance(d.costs.PMemReadRand)
 			d.Counters.MediaReadB.Add(int64(xls))
+			if cell != nil {
+				cell.MediaReadB.Add(int64(xls))
+			}
 		}
 		if line == last {
 			break

@@ -16,8 +16,41 @@ import "sync/atomic"
 
 // Clock is one simulated thread's virtual clock. Clocks are advanced only by
 // their owning goroutine but read by reporters, so the counter is atomic.
+//
+// A clock optionally carries an attribution context for observability: a
+// pointer to the machine-wide MemTally and a layer label. Every virtual
+// nanosecond the clock advances — and every hardware event the devices charge
+// against it — is tallied into the cell for the clock's current label, which
+// is how per-layer attribution works without any virtual-time overhead (the
+// tally bumps are host-side atomic adds that never advance the clock).
 type Clock struct {
-	ns atomic.Int64
+	ns    atomic.Int64
+	label atomic.Int32 // attribution layer; 0 = direct/unlabeled
+	tally *MemTally    // set once at creation, nil when obs is disabled
+}
+
+// SetTally attaches the machine-wide tally. It must be called before the
+// clock is shared (Machine.NewThread does this at creation).
+func (c *Clock) SetTally(t *MemTally) { c.tally = t }
+
+// SetLabel switches the clock's attribution layer and returns the previous
+// label so callers can restore it (labels nest like phases).
+func (c *Clock) SetLabel(l int32) int32 {
+	prev := c.label.Load()
+	c.label.Store(l)
+	return prev
+}
+
+// Label returns the clock's current attribution layer.
+func (c *Clock) Label() int32 { return c.label.Load() }
+
+// Cell returns the tally cell hardware events issued under this clock should
+// be charged to, or nil when observability is disabled.
+func (c *Clock) Cell() *TallyCell {
+	if c.tally == nil {
+		return nil
+	}
+	return c.tally.Cell(c.label.Load())
 }
 
 // Now returns the clock's current virtual time in nanoseconds.
@@ -28,12 +61,16 @@ func (c *Clock) Advance(d int64) int64 {
 	if d < 0 {
 		d = 0
 	}
+	if d > 0 && c.tally != nil {
+		c.tally.Cell(c.label.Load()).Ns.Add(d)
+	}
 	return c.ns.Add(d)
 }
 
 // AdvanceTo moves the clock forward to at least t (it never moves backward)
 // and returns the resulting time. Used when a thread blocks on a resource
-// that frees up at virtual time t.
+// that frees up at virtual time t. The jump is tallied as wait time, not
+// work, so layer work sums stay meaningful.
 func (c *Clock) AdvanceTo(t int64) int64 {
 	for {
 		cur := c.ns.Load()
@@ -41,6 +78,9 @@ func (c *Clock) AdvanceTo(t int64) int64 {
 			return cur
 		}
 		if c.ns.CompareAndSwap(cur, t) {
+			if c.tally != nil {
+				c.tally.Cell(c.label.Load()).WaitNs.Add(t - cur)
+			}
 			return t
 		}
 	}

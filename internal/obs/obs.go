@@ -1,0 +1,150 @@
+// Package obs is the telemetry layer for the simulated stack: per-operation
+// hardware attribution spans, a bounded lifecycle event trace, and a metrics
+// registry with text and JSON exposition. It sits directly above internal/hw
+// (and internal/histogram) so every engine, the bench harness, and the CLI
+// tools can share one report schema.
+//
+// The attribution model has two coordinated halves:
+//
+//   - The hardware half lives in sim.MemTally: every clock the machine
+//     creates (once Machine.EnableObs has run) carries a layer label, and the
+//     PMem/LLC models tally each charged event — virtual ns, media bytes,
+//     XPBuffer arrivals/hits, XPLine evictions — into the cell for the label
+//     active at charge time. Summing cells reproduces the device's global
+//     counters exactly, because every event lands in exactly one cell.
+//
+//   - The software half is the Span API here: a span delta-snapshots the
+//     thread's virtual clock and per-phase Breakdown at operation start and
+//     end, records total latency into a per-op-type histogram, and attributes
+//     the per-phase deltas to layers (residual time that ran under no phase
+//     goes to the "direct" layer 0), so per-layer ns sums to the span total
+//     by construction.
+//
+// Observability adds zero virtual time: tallies and spans are host-side
+// bookkeeping that never advance a clock, so enabling obs cannot perturb the
+// simulated results it measures.
+package obs
+
+import (
+	"sync/atomic"
+
+	"cachekv/internal/histogram"
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/sim"
+)
+
+// Op classifies an operation for per-type attribution.
+type Op int
+
+// Operation types tracked by a Collector.
+const (
+	OpPut Op = iota
+	OpGet
+	OpDelete
+	OpScan
+	OpRMW
+	OpBatch
+	OpFlush
+	OpRecovery
+	NumOps
+)
+
+var opNames = [NumOps]string{"put", "get", "delete", "scan", "rmw", "batch", "flush", "recovery"}
+
+// String returns the op's short name.
+func (o Op) String() string {
+	if o < 0 || o >= NumOps {
+		return "unknown"
+	}
+	return opNames[o]
+}
+
+// foreground reports whether the op runs on a client thread (and therefore
+// counts toward the thread-busy-time invariant in Report.Verify).
+func (o Op) foreground() bool { return o != OpFlush && o != OpRecovery }
+
+// Collector accumulates per-op-type latency histograms and per-layer virtual
+// time. All methods are safe for concurrent use and nil-safe, so call sites
+// need no obs-enabled checks.
+type Collector struct {
+	hist    [NumOps]*histogram.H
+	layerNs [NumOps][sim.MaxLayers]atomic.Int64
+	totalNs [NumOps]atomic.Int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	c := &Collector{}
+	for i := range c.hist {
+		c.hist[i] = histogram.New()
+	}
+	return c
+}
+
+// Hist returns the latency histogram for op (nil on a nil collector).
+func (c *Collector) Hist(op Op) *histogram.H {
+	if c == nil || op < 0 || op >= NumOps {
+		return nil
+	}
+	return c.hist[op]
+}
+
+// LayerNs returns the virtual ns attributed to (op, layer) so far.
+func (c *Collector) LayerNs(op Op, layer int) int64 {
+	if c == nil || op < 0 || op >= NumOps || layer < 0 || layer >= sim.MaxLayers {
+		return 0
+	}
+	return c.layerNs[op][layer].Load()
+}
+
+// TotalNs returns the total virtual ns recorded for op.
+func (c *Collector) TotalNs(op Op) int64 {
+	if c == nil || op < 0 || op >= NumOps {
+		return 0
+	}
+	return c.totalNs[op].Load()
+}
+
+// Span is one in-flight operation's attribution window. The zero Span is a
+// no-op, so disabled paths cost nothing but two branch checks.
+type Span struct {
+	c      *Collector
+	th     *hw.Thread
+	op     Op
+	start  int64
+	phases hw.Breakdown
+}
+
+// StartOp opens a span for op on thread th. Safe on a nil collector or nil
+// thread (returns a no-op span).
+func (c *Collector) StartOp(th *hw.Thread, op Op) Span {
+	if c == nil || th == nil || op < 0 || op >= NumOps {
+		return Span{}
+	}
+	return Span{c: c, th: th, op: op, start: th.Clock.Now(), phases: th.PhaseBreakdown()}
+}
+
+// End closes the span: the clock delta becomes the op's recorded latency, and
+// the per-phase Breakdown delta is attributed to the matching layers, with
+// any residual (time outside every phase) attributed to the direct layer.
+// Returns the span's total virtual ns.
+func (s Span) End() int64 {
+	if s.c == nil {
+		return 0
+	}
+	total := s.th.Clock.Now() - s.start
+	d := s.th.PhaseBreakdown().Sub(s.phases)
+	var attributed int64
+	for p := 0; p < hw.NumPhases; p++ {
+		if d[p] != 0 {
+			s.c.layerNs[s.op][hw.Phase(p).Layer()].Add(d[p])
+			attributed += d[p]
+		}
+	}
+	if resid := total - attributed; resid > 0 {
+		s.c.layerNs[s.op][0].Add(resid)
+	}
+	s.c.totalNs[s.op].Add(total)
+	s.c.hist[s.op].Record(total)
+	return total
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one lifecycle occurrence, stamped with virtual time. Events carry
+// free-form attributes so emit sites stay one-liners; the type string is the
+// schema (flush_start, flush_end, memtable_seal, spill_start, spill_end,
+// compaction, filter_rebuild, crash, recovery_start, recovery_end,
+// block_cache_pressure, crash_point, ...).
+type Event struct {
+	Seq   uint64         `json:"seq"`
+	VNs   int64          `json:"v_ns"`
+	Type  string         `json:"type"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Trace is a bounded ring of events. When full, the oldest event is
+// overwritten and the drop counter advances — tracing can never grow without
+// bound or stall the engine. All methods are safe for concurrent use and safe
+// on a nil receiver (no-ops), so engines hold a *Trace unconditionally.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of oldest event
+	n       int // live events in buf
+	seq     uint64
+	dropped uint64
+}
+
+// DefaultTraceCap is the ring size tools use unless configured otherwise.
+const DefaultTraceCap = 1024
+
+// NewTrace creates a ring holding up to capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Emit appends an event at virtual time vns. kv is alternating key, value
+// pairs; a trailing odd key is recorded with a nil value rather than lost.
+func (t *Trace) Emit(vns int64, typ string, kv ...any) {
+	if t == nil {
+		return
+	}
+	var attrs map[string]any
+	if len(kv) > 0 {
+		attrs = make(map[string]any, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			k := fmt.Sprint(kv[i])
+			if i+1 < len(kv) {
+				attrs[k] = kv[i+1]
+			} else {
+				attrs[k] = nil
+			}
+		}
+	}
+	t.mu.Lock()
+	t.seq++
+	e := Event{Seq: t.seq, VNs: vns, Type: typ, Attrs: attrs}
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = e
+		t.n++
+	} else {
+		t.buf[t.start] = e
+		t.start = (t.start + 1) % len(t.buf)
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many events were overwritten by ring wrap.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Seq returns the total number of events ever emitted.
+func (t *Trace) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// WriteJSONL writes the retained events to w, one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
