@@ -91,6 +91,21 @@ type Options struct {
 	L0Trigger      int // L0 compaction trigger
 	BaseLevelMB    int // L1 size limit
 
+	// Shards partitions the keyspace across N independent engine shards, each
+	// with its own sub-MemTable pool, flush pipeline, and lock domain, behind
+	// a router that preserves this API (CacheKV-family engines only). 0 or 1
+	// opens the classic single-engine store; the group-commit knobs below only
+	// take effect when Shards > 1.
+	Shards int
+	// GroupCommitWindow is the virtual-time window in nanoseconds within
+	// which concurrently arriving writes coalesce into a single group commit
+	// (one sub-MemTable append + one persistence fence). 0 takes the default
+	// (10µs); negative disables coalescing so every write commits alone.
+	GroupCommitWindow int
+	// GroupCommitMaxOps caps the operations batched into one group commit
+	// (default 64).
+	GroupCommitMaxOps int
+
 	// BlockCacheMB sizes the shared DRAM block cache over SSTable blocks,
 	// shared by every table reader (default 8 MiB). Negative disables it.
 	BlockCacheMB int
@@ -111,8 +126,8 @@ type Options struct {
 
 // validate rejects nonsense configurations with a descriptive error rather
 // than letting a negative size wrap around in a uint64 conversion downstream.
-// BlockCacheMB and FilterBitsPerKey are exempt: negative is their documented
-// "disable" value.
+// BlockCacheMB, FilterBitsPerKey and GroupCommitWindow are exempt: negative
+// is their documented "disable" value.
 func (o Options) validate() error {
 	for _, f := range []struct {
 		name string
@@ -129,6 +144,8 @@ func (o Options) validate() error {
 		{"TableSizeKB", o.TableSizeKB},
 		{"L0Trigger", o.L0Trigger},
 		{"BaseLevelMB", o.BaseLevelMB},
+		{"Shards", o.Shards},
+		{"GroupCommitMaxOps", o.GroupCommitMaxOps},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("cachekv: Options.%s must not be negative (got %d); use 0 for the default", f.name, f.v)
@@ -199,6 +216,13 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread, trace *obs.Trace) (k
 	if max := m.PMem.Capacity() / 2; fsBytes > max {
 		fsBytes = max
 	}
+	if opts.Shards > 1 {
+		switch opts.Engine {
+		case EngineCacheKV, EnginePCSM, EnginePCSMLIU, "":
+		default:
+			return nil, fmt.Errorf("cachekv: engine %q does not support sharding (Shards=%d)", opts.Engine, opts.Shards)
+		}
+	}
 	switch opts.Engine {
 	case EngineCacheKV, EnginePCSM, EnginePCSMLIU, "":
 		o := core.DefaultOptions()
@@ -248,6 +272,14 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread, trace *obs.Trace) (k
 			o.SkiplistCompaction = false
 		}
 		o.Trace = trace
+		if opts.Shards > 1 {
+			return core.OpenSharded(m, core.ShardedOptions{
+				Shards:            opts.Shards,
+				GroupCommitWindow: int64(opts.GroupCommitWindow),
+				GroupCommitMaxOps: opts.GroupCommitMaxOps,
+				Base:              o,
+			}, th)
+		}
 		return core.Open(m, o, th)
 	case EngineNoveLSM, EngineNoveLSMNoFlush, EngineNoveLSMCache:
 		o := novelsm.DefaultOptions()
@@ -277,8 +309,17 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread, trace *obs.Trace) (k
 // EngineName returns the open engine's display name.
 func (db *DB) EngineName() string { return db.inner.Name() }
 
-// Session creates a simulated thread pinned to the given core. Sessions are
-// not safe for concurrent use; create one per goroutine.
+// Session creates a simulated thread pinned to the given core. The pinning is
+// deterministic: the session's virtual thread runs on core % Options.Cores,
+// and Session(c).Core() reports that resolved core. Sessions are not safe for
+// concurrent use; create one per goroutine.
+//
+// On a sharded store (Options.Shards > 1) the same rule extends to the
+// engine's own threads: shard k's group-commit writer is pinned to virtual
+// core k % Options.Cores, so a session on core c shares a core with the
+// writer of shard c (when c < Shards) and with any session on c + i*Cores.
+// Writes route by key hash, not by session core — the session's core decides
+// where its CPU time is modelled, never which shard its keys land in.
 func (db *DB) Session(core int) *Session {
 	s := &Session{db: db, th: db.machine.NewThread(core)}
 	db.mu.Lock()
@@ -422,7 +463,9 @@ func (db *DB) Metrics() Metrics {
 		m.BlockCacheHits, m.BlockCacheMisses = bs.BlockCacheStats()
 		m.BlockCacheHitRatio = obs.SafeRatio(m.BlockCacheHits, m.BlockCacheHits+m.BlockCacheMisses)
 	}
-	if fs, ok := db.inner.(interface{ FilterStats() (probes, negatives int64) }); ok {
+	if fs, ok := db.inner.(interface {
+		FilterStats() (probes, negatives int64)
+	}); ok {
 		m.FilterProbes, m.FilterNegatives = fs.FilterStats()
 	}
 	return m
@@ -503,10 +546,20 @@ func (b *Batch) Len() int { return b.inner.Len() }
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.inner.Reset() }
 
+// batchApplier is satisfied by the single-engine store and the sharded
+// router; both commit a Batch atomically (the router uses two-phase commit
+// when the batch's keys span shards).
+type batchApplier interface {
+	Apply(*hw.Thread, *core.Batch) error
+}
+
 // Apply commits a batch atomically. Only CacheKV-family engines support
-// batches; other engines return an error.
+// batches; other engines return an error. On a sharded store a batch whose
+// keys hash to one shard commits with a single CAS exactly like the classic
+// engine; a cross-shard batch goes through the two-phase commit protocol and
+// stays all-or-nothing across crashes.
 func (s *Session) Apply(b *Batch) error {
-	e, ok := s.db.inner.(*core.Engine)
+	e, ok := s.db.inner.(batchApplier)
 	if !ok {
 		return fmt.Errorf("cachekv: engine %s does not support atomic batches", s.db.EngineName())
 	}

@@ -33,7 +33,38 @@ func main() {
 	readPathBase := flag.String("readpath-baseline", "", "prior readpath JSON to embed as the before/after baseline")
 	readPathEngines := flag.String("readpath-engines", "cachekv,novelsm,slm-db", "engines measured by the read-path suite")
 	obsOut := flag.String("obs-out", "", "write a per-phase cachekv.obs/v1 attribution report here (e.g. BENCH_obs.json)")
+	shards := flag.Int("shards", 0, "CacheKV engine shards (0 or 1 = classic single engine)")
+	groupCommit := flag.Int64("group-commit", 0, "group-commit window in virtual ns (0 = default 10µs, negative disables coalescing; Shards > 1 only)")
+	groupCommitOps := flag.Int("group-commit-max-ops", 0, "max ops per group commit (0 = default 64)")
+	shardOut := flag.String("shard-out", "", "run the shard-scaling suite (YCSB-A/C, 1→32 threads, baseline vs Shards=threads) and write JSON here (ignores -benchmarks)")
 	flag.Parse()
+
+	if *shardOut != "" {
+		numSet, vsSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "num":
+				numSet = true
+			case "value-size":
+				vsSet = true
+			}
+		})
+		cfg := bench.DefaultShardCurveConfig()
+		if numSet {
+			cfg.Records = *num
+			cfg.Ops = *num
+		}
+		if vsSet {
+			cfg.ValueSize = *valueSize
+		}
+		cfg.GroupCommitWindow = *groupCommit
+		cfg.GroupCommitMaxOps = *groupCommitOps
+		if err := runShardCurve(*shardOut, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *readPathOut != "" {
 		if err := runReadPath(*readPathOut, *readPathBase, *readPathEngines, *num, *threads, *valueSize); err != nil {
@@ -70,6 +101,9 @@ func main() {
 	if *tableKB > 0 {
 		cfg.SubMemTableBytes = uint64(*tableKB) << 10
 	}
+	cfg.Shards = *shards
+	cfg.GroupCommitWindow = *groupCommit
+	cfg.GroupCommitMaxOps = *groupCommitOps
 	var tr *obs.Trace
 	if *obsOut != "" {
 		cfg.Obs = true
@@ -207,6 +241,31 @@ func runReadPath(out, baselinePath, engines string, num int64, threads, valueSiz
 			fmt.Printf("%-10s %-14s : %+.1f%% vs baseline\n", r.Engine, r.Workload, imp)
 		}
 	}
+	return report.WriteJSON(out)
+}
+
+// runShardCurve executes the shard-scaling suite (BENCH_shard.json): YCSB-A
+// and YCSB-C at each thread count, 1-shard baseline vs Shards=threads.
+func runShardCurve(out string, cfg bench.ShardCurveConfig) error {
+	report, err := bench.RunShardCurve(cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range report.Points {
+		tag := "baseline"
+		if p.Shards > 1 {
+			tag = fmt.Sprintf("%d shards", p.Shards)
+		}
+		fmt.Printf("%-7s t=%-3d %-9s : %10.1f Kops/s", p.Workload, p.Threads, tag, p.KopsPerSec)
+		if p.Shards > 1 {
+			fmt.Printf("  (%.2fx vs baseline, avg group %.1f ops)", p.SpeedupVsBaseline, p.AvgGroupSize)
+		}
+		if len(p.VerifyViolations) > 0 {
+			fmt.Printf("  OBS-VIOLATIONS: %v", p.VerifyViolations)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("YCSB-A speedup at 8 shards: %.2fx\n", report.YCSBASpeedupAt8)
 	return report.WriteJSON(out)
 }
 

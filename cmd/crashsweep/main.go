@@ -18,6 +18,11 @@
 // Replay one schedule:
 //
 //	crashsweep -engine cachekv -domain eadr -crash-at 46 -fault flip
+//
+// Cross-shard batch sweep (the sharded router's two-phase commit path; the
+// oracle demands all-or-nothing visibility for every batch):
+//
+//	crashsweep -cross-shard -batches 60 -schedules 10 -faults none,torn,flip
 package main
 
 import (
@@ -49,8 +54,15 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-configuration event totals")
 	tracePath := flag.String("trace", "", "replay mode: write the annotated lifecycle event trace as JSONL here ('-' for stdout)")
 	reportPath := flag.String("report", "", "write sweep results as a cachekv.obs/v1 JSON report here")
+	crossShard := flag.Bool("cross-shard", false, "sweep cross-shard atomic batches on the sharded router (all-or-nothing oracle)")
+	batches := flag.Int("batches", 60, "cross-shard mode: workload length in atomic batches")
+	shards := flag.Int("shards", 0, "cross-shard mode: engine shards (0 = harness default)")
 	flag.Parse()
 
+	if *crossShard {
+		os.Exit(crossShardSweep(*shards, *batches, *domains, *faults, *seed,
+			*schedules, *scheduleSeed, *parallel, *verbose))
+	}
 	if *crashAt > 0 {
 		os.Exit(replay(*engine, *domain, *seed, *ops, *crashAt, *fault, *tracePath))
 	}
@@ -138,6 +150,50 @@ func writeSweepReport(path, engines string, stats *faultinject.SweepStats) error
 	rep := obs.NewReport("crashsweep")
 	rep.Runs = append(rep.Runs, run)
 	return rep.WriteFile(path)
+}
+
+// crossShardSweep runs the sharded router's cross-shard batch sweep: every
+// workload mutation is a multi-shard atomic batch through the two-phase
+// commit protocol, and the oracle rejects any half-applied group.
+func crossShardSweep(shards, batches int, domains, faults string, seed uint64, schedules int, scheduleSeed uint64, parallel int, verbose bool) int {
+	doms, err := parseDomains(domains)
+	if err != nil {
+		fatal(err)
+	}
+	flts, err := parseFaults(faults)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := faultinject.CrossShardSweepConfig{
+		Shards:             shards,
+		Domains:            doms,
+		NumBatches:         batches,
+		WorkloadSeed:       seed,
+		SchedulesPerConfig: schedules,
+		ScheduleSeed:       scheduleSeed,
+		Faults:             flts,
+		Parallel:           parallel,
+	}
+	if verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	stats, err := faultinject.SweepCrossShard(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("crashsweep: cross-shard: %d schedules, %d failures\n", stats.Runs, len(stats.Failures))
+	for _, r := range stats.Failures {
+		fmt.Printf("FAIL {%s}\n", r.Schedule)
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	if len(stats.Failures) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func replay(engine, domain string, seed uint64, ops int, crashAt int64, fault, tracePath string) int {

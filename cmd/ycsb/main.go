@@ -31,6 +31,8 @@ func main() {
 	valueSize := flag.Int("value-size", 64, "value size (paper uses 64 B)")
 	reportPath := flag.String("report", "", "write a cachekv.obs/v1 JSON report here (enables attribution)")
 	check := flag.Bool("check", false, "verify report invariants; exit 1 on violation (implies attribution)")
+	shards := flag.Int("shards", 0, "CacheKV engine shards (0 or 1 = classic single engine)")
+	groupCommit := flag.Int64("group-commit", 0, "group-commit window in virtual ns (0 = default 10µs, negative disables coalescing; Shards > 1 only)")
 	flag.Parse()
 	withObs := *reportPath != "" || *check
 
@@ -64,6 +66,11 @@ func main() {
 		// Fresh platform per workload, as YCSB runs each against a clean DB.
 		cfg := bench.DefaultEngineConfig()
 		cfg.DataBytes = uint64(*records*2) * uint64(*valueSize+40)
+		cfg.Shards = *shards
+		cfg.GroupCommitWindow = *groupCommit
+		if *threads > 24 {
+			cfg.Cores = *threads
+		}
 		var tr *obs.Trace
 		if withObs {
 			cfg.Obs = true

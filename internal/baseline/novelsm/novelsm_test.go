@@ -181,6 +181,10 @@ func TestCrashRecoveryPMemTable(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Crash-stop the store before the platform power-fails: without Halt the
+	// flusher goroutine races the recovery below on the host, mutating shared
+	// machine state while db2 replays the logs.
+	db.Halt()
 	m.Crash()
 	m.Recover()
 	th2 := m.NewThread(0)

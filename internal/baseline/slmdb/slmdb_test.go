@@ -202,6 +202,9 @@ func TestCrashRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Crash-stop the store before the platform power-fails: without Halt the
+	// background goroutines race the recovery below on the host.
+	db.Halt()
 	m.Crash()
 	m.Recover()
 	th2 := m.NewThread(0)

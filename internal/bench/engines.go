@@ -75,6 +75,17 @@ type EngineConfig struct {
 	SubMemTableBytes uint64 // CacheKV sub-MemTable size (Exp#6)
 	FlushThreads     int    // CacheKV background flush threads (Exp#5)
 
+	// Cores overrides the simulated core count (default: the testbed's 24).
+	// Thread-scaling experiments past 24 threads raise it.
+	Cores int
+	// Shards opens the CacheKV-family engines as a sharded router with this
+	// many engine shards (0 or 1: the classic single engine).
+	Shards int
+	// GroupCommitWindow / GroupCommitMaxOps tune the sharded router's group
+	// commit (virtual ns and ops; zero takes the engine defaults).
+	GroupCommitWindow int64
+	GroupCommitMaxOps int
+
 	// DataBytes is the expected working-set size of the experiment. It
 	// scales the baselines' memtables the way the paper configures them:
 	// NoveLSM's PMem MemTable (4 GiB on the testbed) absorbs the entire
@@ -104,6 +115,9 @@ func (c EngineConfig) NewMachine() *hw.Machine {
 	cfg := hw.DefaultConfig()
 	if c.PMemBytes > 0 {
 		cfg.PMemBytes = c.PMemBytes
+	}
+	if c.Cores > 0 {
+		cfg.Cores = c.Cores
 	}
 	m := hw.NewMachine(cfg)
 	if c.Obs {
@@ -156,6 +170,14 @@ func (c EngineConfig) Open(kind EngineKind, m *hw.Machine, th *hw.Thread) (kvsto
 			opts.SkiplistCompaction = false
 		}
 		opts.Trace = c.Trace
+		if c.Shards > 1 {
+			return core.OpenSharded(m, core.ShardedOptions{
+				Shards:            c.Shards,
+				GroupCommitWindow: c.GroupCommitWindow,
+				GroupCommitMaxOps: c.GroupCommitMaxOps,
+				Base:              opts,
+			}, th)
+		}
 		return core.Open(m, opts, th)
 	case NoveLSM, NoveLSMWoFlush, NoveLSMCache:
 		opts := novelsm.DefaultOptions()

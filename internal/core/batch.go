@@ -48,17 +48,35 @@ func (b *Batch) Reset() { b.ops = b.ops[:0] }
 // the batch size and the tail past every entry. A batch larger than a
 // sub-MemTable's capacity is rejected.
 func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
-	if err := e.err(); err != nil {
-		return err
-	}
 	if len(b.ops) == 0 {
 		return nil
 	}
-	// Encode all entries with consecutive sequence numbers.
+	// Consecutive sequence numbers for a directly applied batch.
 	firstSeq := e.seq.Add(uint64(len(b.ops))) - uint64(len(b.ops)) + 1
+	seqs := make([]uint64, len(b.ops))
+	for i := range seqs {
+		seqs[i] = firstSeq + uint64(i)
+	}
+	return e.commitOps(th, b.ops, seqs)
+}
+
+// commitOps appends ops (with pre-assigned sequence numbers seqs, one per op)
+// to the calling core's sub-MemTable and commits them all with a single CAS
+// on the packed header — the common commit primitive behind Apply, the
+// group-commit writers, and two-phase recovery replay. Sequence numbers are
+// explicit because group commit concatenates requests whose seqs were drawn
+// from the shared counter at arrival time and recovery replays the seqs the
+// prepare record recorded.
+func (e *Engine) commitOps(th *hw.Thread, ops []batchOp, seqs []uint64) error {
+	if err := e.err(); err != nil {
+		return err
+	}
+	if len(ops) == 0 {
+		return nil
+	}
 	var enc []byte
-	for i, op := range b.ops {
-		ik := util.MakeInternalKey(nil, op.key, firstSeq+uint64(i), op.kind)
+	for i, op := range ops {
+		ik := util.MakeInternalKey(nil, op.key, seqs[i], op.kind)
 		entry := kvstore.EncodeEntry(nil, ik, op.value)
 		enc = append(enc, entry...)
 		if pad := align8(uint64(len(entry))) - uint64(len(entry)); pad > 0 {
@@ -73,7 +91,7 @@ func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
 		s := e.pool.slotFor(core)
 		if s == nil {
 			th.InPhase(hw.PhaseOther, func() {
-				s = e.pool.acquire(th, core, firstSeq)
+				s = e.pool.acquire(th, core, seqs[0])
 			})
 			if s == nil {
 				if err := e.err(); err != nil {
@@ -94,6 +112,9 @@ func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
 		}
 		if tail+need > s.dataCap() {
 			if sealed := e.pool.sealForCore(th, core); sealed != nil {
+				cnt, _, stail := unpackHdr(sealed.hdr.Load())
+				e.trace.Emit(th.Clock.Now(), "memtable_seal", "shard", e.opts.Shard,
+					"slot", sealed.idx, "entries", cnt, "bytes", stail)
 				e.pendingFlushes.Add(1)
 				e.flushCh <- sealed
 			}
@@ -107,17 +128,17 @@ func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
 		// false-positive bits.
 		if f := s.filter.Load(); f != nil {
 			th.ChargeDRAM(1)
-			for _, op := range b.ops {
+			for _, op := range ops {
 				f.Add(op.key)
 			}
 		}
 		// The transaction's commit point: counter += len(ops), tail += need,
 		// in one atomic compare-and-swap.
-		if !e.pool.casHdr(th, s, hdr, packHdr(count+uint64(len(b.ops)), stateAllocated, tail+need)) {
+		if !e.pool.casHdr(th, s, hdr, packHdr(count+uint64(len(ops)), stateAllocated, tail+need)) {
 			continue
 		}
 		if e.opts.LazyIndex {
-			if (count+uint64(len(b.ops)))%uint64(e.opts.SyncThreshold) < uint64(len(b.ops)) {
+			if (count+uint64(len(ops)))%uint64(e.opts.SyncThreshold) < uint64(len(ops)) {
 				select {
 				case e.syncCh <- syncReq{s: s, at: th.Clock.Now()}:
 				default:
@@ -128,19 +149,19 @@ func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
 				s.syncMu.Lock()
 				if s.list != nil {
 					off := tail
-					for i, op := range b.ops {
-						ik := util.MakeInternalKey(nil, op.key, firstSeq+uint64(i), op.kind)
+					for i, op := range ops {
+						ik := util.MakeInternalKey(nil, op.key, seqs[i], op.kind)
 						entry := kvstore.EncodeEntry(nil, ik, op.value)
 						s.list.Insert(ik, util.PutFixed64(nil, off), nil)
 						off += align8(uint64(len(entry)))
 					}
-					s.listCount = count + uint64(len(b.ops))
+					s.listCount = count + uint64(len(ops))
 					s.listTail = tail + need
 				}
 				s.syncMu.Unlock()
 			})
 		}
-		e.stats.Puts.Add(int64(len(b.ops)))
+		e.stats.Puts.Add(int64(len(ops)))
 		return nil
 	}
 }

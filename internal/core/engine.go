@@ -47,6 +47,31 @@ type Options struct {
 	// sub-MemTable seals, spills, compactions, recovery, block-cache eviction
 	// pressure). nil disables tracing; every emit site is nil-safe.
 	Trace *obs.Trace
+
+	// Sharded-deployment hooks (OpenSharded): Shard is this engine's index,
+	// carried on trace events so the lifecycle stream attributes seals and
+	// flushes to shards. RegionPrefix overrides the "cachekv" region-name
+	// prefix so several engines coexist on one machine; empty keeps the legacy
+	// names (and therefore the legacy on-media layout). SharedSeq, when
+	// non-nil, is a sequence counter shared across shards so cross-shard
+	// versions order globally. SharedPartition, when non-nil, is an externally
+	// reserved cache partition the pool lives in: the LLC is way-granular, so
+	// N shards share one reservation instead of burning a way each; the engine
+	// then skips Reserve and Release.
+	Shard           int
+	RegionPrefix    string
+	SharedSeq       *atomic.Uint64
+	SharedPartition *cache.PartitionID
+}
+
+// regionName returns the engine's name for one of its PMem regions,
+// honouring the RegionPrefix override.
+func (o Options) regionName(suffix string) string {
+	p := o.RegionPrefix
+	if p == "" {
+		p = "cachekv"
+	}
+	return p + "." + suffix
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -133,7 +158,10 @@ type Engine struct {
 	fs       *pmemfs.FS
 	tree     *lsm.Tree
 
-	seq           atomic.Uint64
+	// seq is the global version counter. Standalone engines own a private
+	// counter; shards of one Sharded store share a single counter (installed
+	// via Options.SharedSeq) so versions order across the whole keyspace.
+	seq           *atomic.Uint64
 	maxSpilledSeq atomic.Uint64
 
 	flushCh        chan *slot
@@ -194,30 +222,41 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	e.indexServer = sim.NewServerPool(1)
 	e.spillState.cond = sync.NewCond(&e.spillState.mu)
 
-	part, err := m.Cache.Reserve(int(opts.PoolBytes))
-	if err != nil {
-		return nil, fmt.Errorf("cachekv: pinning pool: %w", err)
+	if opts.SharedSeq != nil {
+		e.seq = opts.SharedSeq
+	} else {
+		e.seq = new(atomic.Uint64)
 	}
-	e.poolPart = part
 
-	poolRegion, recovered := m.LookupRegion("cachekv.pool")
+	if opts.SharedPartition != nil {
+		e.poolPart = *opts.SharedPartition
+	} else {
+		part, err := m.Cache.Reserve(int(opts.PoolBytes))
+		if err != nil {
+			return nil, fmt.Errorf("cachekv: pinning pool: %w", err)
+		}
+		e.poolPart = part
+	}
+
+	poolRegion, recovered := m.LookupRegion(opts.regionName("pool"))
 	if !recovered {
-		poolRegion = m.Alloc("cachekv.pool", opts.PoolBytes, 4096)
+		poolRegion = m.Alloc(opts.regionName("pool"), opts.PoolBytes, 4096)
 	}
-	immRegion, ok := m.LookupRegion("cachekv.imm")
+	immRegion, ok := m.LookupRegion(opts.regionName("imm"))
 	if !ok {
-		immRegion = m.Alloc("cachekv.imm", opts.ImmZoneBytes, 4096)
+		immRegion = m.Alloc(opts.regionName("imm"), opts.ImmZoneBytes, 4096)
 	}
-	fsRegion, ok := m.LookupRegion("cachekv.fs")
+	fsRegion, ok := m.LookupRegion(opts.regionName("fs"))
 	if !ok {
-		fsRegion = m.Alloc("cachekv.fs", opts.FSBytes, 4096)
+		fsRegion = m.Alloc(opts.regionName("fs"), opts.FSBytes, 4096)
 	}
-	manifestRegion, ok := m.LookupRegion("cachekv.manifest")
+	manifestRegion, ok := m.LookupRegion(opts.regionName("manifest"))
 	if !ok {
-		manifestRegion = m.Alloc("cachekv.manifest", opts.ManifestBytes, 4096)
+		manifestRegion = m.Alloc(opts.regionName("manifest"), opts.ManifestBytes, 4096)
 	}
 
 	e.immArena = arena.NewPArena(immRegion)
+	var err error
 	e.fs, err = pmemfs.Mount(m, fsRegion, th)
 	if err != nil {
 		return nil, err
@@ -226,11 +265,13 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.seq.Store(e.tree.LastSeq())
+	// Bump rather than store: a shared counter may already sit past this
+	// shard's tree (another shard recovered first).
+	e.bumpSeq(e.tree.LastSeq())
 	e.maxSpilledSeq.Store(e.tree.LastSeq())
 
 	if recovered {
-		e.trace.Emit(th.Clock.Now(), "recovery_start", "engine", e.Name())
+		e.trace.Emit(th.Clock.Now(), "recovery_start", "engine", e.Name(), "shard", opts.Shard)
 		var rerr error
 		th.InPhase(hw.PhaseRecovery, func() {
 			rerr = e.recover(poolRegion, th)
@@ -241,10 +282,10 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 		e.mem.mu.RLock()
 		nImms := len(e.mem.imms)
 		e.mem.mu.RUnlock()
-		e.trace.Emit(th.Clock.Now(), "recovery_end",
+		e.trace.Emit(th.Clock.Now(), "recovery_end", "shard", opts.Shard,
 			"imm_tables", nImms, "filters_rebuilt", nImms, "last_seq", e.seq.Load())
 	} else {
-		e.pool, err = newPool(m, poolRegion, part, opts.SubMemTableBytes, m.Cores(), opts.Elastic, opts.MissThreshold, th)
+		e.pool, err = newPool(m, poolRegion, e.poolPart, opts.SubMemTableBytes, m.Cores(), opts.Elastic, opts.MissThreshold, th)
 		if err != nil {
 			return nil, err
 		}
@@ -427,7 +468,7 @@ func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind) er
 			// Full: seal, queue the copy-based flush, grab a fresh one.
 			if sealed := e.pool.sealForCore(th, core); sealed != nil {
 				cnt, _, stail := unpackHdr(sealed.hdr.Load())
-				e.trace.Emit(th.Clock.Now(), "memtable_seal",
+				e.trace.Emit(th.Clock.Now(), "memtable_seal", "shard", e.opts.Shard,
 					"slot", sealed.idx, "entries", cnt, "bytes", stail)
 				e.pendingFlushes.Add(1)
 				e.flushCh <- sealed
@@ -516,7 +557,7 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 		if list == nil {
 			continue
 		}
-		if v, fseq, kind, ok := e.searchList(th, list, s.dataAddr(), e.poolPart, key, snapshot); ok {
+		if v, fseq, kind, ok := e.searchList(th, list, s.dataAddr(), s.dataCap(), e.poolPart, key, snapshot); ok {
 			res.Consider(v, fseq, kind)
 		}
 	}
@@ -552,8 +593,12 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 			if ok {
 				gseq, kind, addr := decodeGlobalVal(gv)
 				if gseq <= snapshot {
-					if _, val, okF := e.fetchEntry(th, addr, 0, cache.DefaultPartition); okF {
-						res.Consider(val, gseq, kind)
+					// The global list stores absolute ImmZone addresses; bound
+					// the fetch by the zone's remaining extent.
+					if zone := e.immArena.Region(); addr < zone.End() {
+						if _, val, okF := e.fetchEntry(th, addr, 0, zone.End()-addr, cache.DefaultPartition); okF {
+							res.Consider(val, gseq, kind)
+						}
 					}
 				}
 			}
@@ -570,7 +615,7 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 				continue
 			}
 		}
-		if v, fseq, kind, ok := e.searchList(th, t.list, t.base, cache.DefaultPartition, key, snapshot); ok {
+		if v, fseq, kind, ok := e.searchList(th, t.list, t.base, t.dataLen, cache.DefaultPartition, key, snapshot); ok {
 			res.Consider(v, fseq, kind)
 		}
 	}
@@ -607,6 +652,18 @@ func (e *Engine) Scan(th *hw.Thread, start []byte, limit int, fn func(key, value
 		return 0, err
 	}
 	snapshot := e.seq.Load()
+	its, err := e.internalIterators(th)
+	if err != nil {
+		return 0, err
+	}
+	merged := lsm.NewMergingIterator(its...)
+	return kvstore.UserScan(merged, start, snapshot, limit, fn), nil
+}
+
+// internalIterators returns one iterator per live data source (active slots,
+// flushed tables, the LSM tree), billing the same index syncs a scan performs.
+// The sharded router merges these across shards for cross-shard scans.
+func (e *Engine) internalIterators(th *hw.Thread) ([]lsm.Iterator, error) {
 	var its []lsm.Iterator
 	for _, s := range e.pool.snapshotActive() {
 		// Scans need complete indexes; bill the sync like Get's trigger-1.
@@ -619,22 +676,21 @@ func (e *Engine) Scan(th *hw.Thread, start []byte, limit int, fn func(key, value
 		list := s.list
 		s.syncMu.Unlock()
 		if list != nil {
-			its = append(its, e.newTableIter(th, list, s.dataAddr(), e.poolPart))
+			its = append(its, e.newTableIter(th, list, s.dataAddr(), s.dataCap(), e.poolPart))
 		}
 	}
 	e.mem.mu.RLock()
 	for i := len(e.mem.imms) - 1; i >= 0; i-- {
 		t := e.mem.imms[i]
-		its = append(its, e.newTableIter(th, t.list, t.base, cache.DefaultPartition))
+		its = append(its, e.newTableIter(th, t.list, t.base, t.dataLen, cache.DefaultPartition))
 	}
 	e.mem.mu.RUnlock()
 	treeIt, err := e.tree.NewIterator(th)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	its = append(its, treeIt)
-	merged := lsm.NewMergingIterator(its...)
-	return kvstore.UserScan(merged, start, snapshot, limit, fn), nil
+	return its, nil
 }
 
 // FlushAll implements kvstore.DB: seal everything, drain the flush pipeline,
@@ -692,12 +748,15 @@ func (e *Engine) Close(th *hw.Thread) error {
 	// (eADR would have drained these lines anyway). A crash-stopped engine
 	// skips this — the power is already off.
 	if p := e.failed.Load(); p == nil || *p != errEngineCrashed {
-		if r, ok := e.m.LookupRegion("cachekv.pool"); ok {
+		if r, ok := e.m.LookupRegion(e.opts.regionName("pool")); ok {
 			th := e.m.NewThread(0)
 			e.m.Cache.FlushOpt(th.Clock, r.Addr, int(r.Size))
 		}
 	}
-	e.m.Cache.Release(e.poolPart)
+	// A shared partition belongs to the Sharded router that reserved it.
+	if e.opts.SharedPartition == nil {
+		e.m.Cache.Release(e.poolPart)
+	}
 	if p := e.failed.Load(); p != nil {
 		return *p
 	}

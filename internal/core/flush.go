@@ -176,7 +176,7 @@ func (e *Engine) flushOne(s *slot) {
 	th.Clock.SetLabel(hw.PhaseBgFlush.Layer())
 	th.Clock.AdvanceTo(s.sealedAt.Load())
 	start := th.Clock.Now()
-	e.trace.Emit(start, "flush_start", "slot", s.idx)
+	e.trace.Emit(start, "flush_start", "shard", e.opts.Shard, "slot", s.idx)
 	var stallNs int64
 	// Fixed per-flush dispatch and metadata cost: the reason over-small
 	// sub-MemTables hurt write throughput (the paper's Exp#6 left side).
@@ -290,7 +290,7 @@ func (e *Engine) flushOne(s *slot) {
 		}
 	}
 
-	e.trace.Emit(th.Clock.Now(), "flush_end",
+	e.trace.Emit(th.Clock.Now(), "flush_end", "shard", e.opts.Shard,
 		"slot", s.idx, "bytes", tail, "entries", count, "stall_ns", stallNs)
 	// Block-cache eviction pressure: surface sustained churn as a trace event
 	// (every 1024 new evictions) so read-path regressions are visible in the
@@ -350,7 +350,7 @@ func (e *Engine) spillLocked(th *hw.Thread) {
 	if len(imms) == 0 {
 		return
 	}
-	e.trace.Emit(th.Clock.Now(), "spill_start", "tables", len(imms))
+	e.trace.Emit(th.Clock.Now(), "spill_start", "shard", e.opts.Shard, "tables", len(imms))
 	// The spill merges via the sub-skiplists, so it cannot start before the
 	// index thread has finished syncing every table it covers: under
 	// sustained load the single index thread is the pipeline's ceiling,
@@ -405,7 +405,7 @@ func (e *Engine) spillLocked(th *hw.Thread) {
 		e.m.Cache.NTWrite(th.Clock, e.immArena.Region().Addr, zero)
 	}
 	e.stats.Spills.Add(1)
-	e.trace.Emit(th.Clock.Now(), "spill_end", "tables", len(imms), "max_seq", maxSeq)
+	e.trace.Emit(th.Clock.Now(), "spill_end", "shard", e.opts.Shard, "tables", len(imms), "max_seq", maxSeq)
 }
 
 // syncReq is one trigger-2 lazy-sync request with the virtual time it was

@@ -67,12 +67,20 @@ func needsSync(s *slot) bool {
 }
 
 // fetchEntry reads and decodes the entry stored at off within a data region
-// starting at base, reading through the cache under partition part.
-func (e *Engine) fetchEntry(th *hw.Thread, base, off uint64, part cache.PartitionID) (util.InternalKey, []byte, bool) {
+// of limit bytes starting at base, reading through the cache under partition
+// part. The bounds check runs before the length header is trusted: a scan or
+// get racing a flush may hold a sub-skiplist whose table bytes were recycled,
+// and the torn header must not drive an unbounded read (the CRC inside
+// DecodeEntry then rejects any in-bounds torn payload, so a stale entry is
+// skipped, never fabricated).
+func (e *Engine) fetchEntry(th *hw.Thread, base, off, limit uint64, part cache.PartitionID) (util.InternalKey, []byte, bool) {
+	if off >= limit || limit-off < 8 {
+		return nil, nil, false
+	}
 	var hdr [8]byte
 	e.m.Cache.Read(th.Clock, base+off, hdr[:], part)
 	blen := uint64(util.Fixed32(hdr[:]))
-	if blen == 0 {
+	if blen == 0 || blen > limit-off-8 {
 		return nil, nil, false
 	}
 	buf := make([]byte, 8+blen)
@@ -87,7 +95,7 @@ func (e *Engine) fetchEntry(th *hw.Thread, base, off uint64, part cache.Partitio
 // searchList looks ukey up (at or below seq) in one sub-skiplist, resolving
 // the stored offset against base. Node visits are charged at DRAM latency —
 // the point of keeping sub-skiplists in DRAM.
-func (e *Engine) searchList(th *hw.Thread, list *skiplist.List, base uint64, part cache.PartitionID, ukey []byte, seq uint64) (value []byte, foundSeq uint64, kind util.ValueKind, ok bool) {
+func (e *Engine) searchList(th *hw.Thread, list *skiplist.List, base, limit uint64, part cache.PartitionID, ukey []byte, seq uint64) (value []byte, foundSeq uint64, kind util.ValueKind, ok bool) {
 	if list == nil {
 		return nil, 0, 0, false
 	}
@@ -104,7 +112,7 @@ func (e *Engine) searchList(th *hw.Thread, list *skiplist.List, base uint64, par
 		return nil, 0, 0, false
 	}
 	off := util.Fixed64(it.Value())
-	_, val, okFetch := e.fetchEntry(th, base, off, part)
+	_, val, okFetch := e.fetchEntry(th, base, off, limit, part)
 	if !okFetch {
 		return nil, 0, 0, false
 	}
@@ -115,17 +123,18 @@ func (e *Engine) searchList(th *hw.Thread, list *skiplist.List, base uint64, par
 // decoding entry bytes lazily. It serves scans over active slots and imm
 // tables, and feeds the L0 spill.
 type tableIter struct {
-	e    *Engine
-	th   *hw.Thread
-	it   *skiplist.Iterator
-	base uint64
-	part cache.PartitionID
-	val  []byte
-	ok   bool
+	e     *Engine
+	th    *hw.Thread
+	it    *skiplist.Iterator
+	base  uint64
+	limit uint64 // data-region bytes at base; fetches past it are stale
+	part  cache.PartitionID
+	val   []byte
+	ok    bool
 }
 
-func (e *Engine) newTableIter(th *hw.Thread, list *skiplist.List, base uint64, part cache.PartitionID) *tableIter {
-	return &tableIter{e: e, th: th, it: list.NewIterator(), base: base, part: part}
+func (e *Engine) newTableIter(th *hw.Thread, list *skiplist.List, base, limit uint64, part cache.PartitionID) *tableIter {
+	return &tableIter{e: e, th: th, it: list.NewIterator(), base: base, limit: limit, part: part}
 }
 
 func (t *tableIter) load() {
@@ -134,7 +143,7 @@ func (t *tableIter) load() {
 		return
 	}
 	off := util.Fixed64(t.it.Value())
-	_, val, ok := t.e.fetchEntry(t.th, t.base, off, t.part)
+	_, val, ok := t.e.fetchEntry(t.th, t.base, off, t.limit, t.part)
 	if !ok {
 		return
 	}

@@ -1,0 +1,691 @@
+package core
+
+// shard.go implements the sharded multi-core deployment of CacheKV: the
+// keyspace is hash-partitioned across N full engine instances — each with its
+// own sub-MemTable pool, flush/spill/index pipelines, ImmZone, LSM tree, and
+// lock domain — behind a router that preserves the kvstore.DB surface. Two
+// mechanisms ride on top of the partitioning:
+//
+//   - Group commit: one writer goroutine per shard coalesces concurrently
+//     arriving Put/Delete/Batch requests into a single sub-MemTable append
+//     committed by one CAS and made durable by one fence, amortizing the
+//     persistence point across the group. Callers park until their group's
+//     fence lands (the wait is attributed to the "lock" layer).
+//
+//   - Two-phase commit for cross-shard atomic batches: per-shard prepare
+//     records plus a single commit marker in a global commit log (twopc.go),
+//     so recovery can resolve in-doubt groups all-or-nothing.
+//
+// The LLC is way-granular, so the router reserves ONE pinned partition sized
+// for the sum of all shard pools and hands it to every shard engine
+// (Options.SharedPartition); per-shard pool regions are distinct PMem ranges
+// inside that shared partition's capacity.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cachekv/internal/histogram"
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/cache"
+	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
+	"cachekv/internal/obs"
+	"cachekv/internal/util"
+)
+
+// ShardedOptions configure OpenSharded. The Base options carry TOTAL budgets
+// (pool, ImmZone, FS, manifest) that are divided across shards, so a sharded
+// store consumes the same pinned-cache and PMem budget as a single-shard one.
+type ShardedOptions struct {
+	// Shards is the number of engine shards (>= 1).
+	Shards int
+	// GroupCommitWindow is the virtual-time window (ns) within which
+	// concurrently arriving write requests coalesce into one group; requests
+	// arriving later than the group leader's arrival + window start the next
+	// group. 0 takes the default (10µs). Negative disables coalescing
+	// (every request commits alone — useful for A/B measurement).
+	GroupCommitWindow int64
+	// GroupCommitMaxOps caps the operations batched into one group commit.
+	// 0 takes the default (64).
+	GroupCommitMaxOps int
+	// PrepareLogBytes / CommitLogBytes size the per-shard two-phase prepare
+	// logs and the global commit-marker log (defaults 256 KiB each).
+	PrepareLogBytes uint64
+	CommitLogBytes  uint64
+	// Base is the per-engine configuration; PoolBytes, ImmZoneBytes, FSBytes
+	// and ManifestBytes are totals split across shards, SubMemTableBytes is
+	// clamped so every shard keeps at least two slots.
+	Base Options
+}
+
+const (
+	defaultGroupCommitWindow = 10_000 // 10µs of virtual time
+	defaultGroupCommitMaxOps = 64
+	defaultTwoPCLogBytes     = 256 << 10
+)
+
+func (o ShardedOptions) withDefaults() ShardedOptions {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.GroupCommitWindow == 0 {
+		o.GroupCommitWindow = defaultGroupCommitWindow
+	}
+	if o.GroupCommitMaxOps <= 0 {
+		o.GroupCommitMaxOps = defaultGroupCommitMaxOps
+	}
+	if o.PrepareLogBytes == 0 {
+		o.PrepareLogBytes = defaultTwoPCLogBytes
+	}
+	if o.CommitLogBytes == 0 {
+		o.CommitLogBytes = defaultTwoPCLogBytes
+	}
+	o.Base = o.Base.withDefaults()
+	return o
+}
+
+// shardOptions derives shard k's engine options from the totals.
+func (o ShardedOptions) shardOptions(k int, prefix string, seq *atomic.Uint64, part *cache.PartitionID) Options {
+	n := uint64(o.Shards)
+	eo := o.Base
+	eo.Shard = k
+	eo.RegionPrefix = fmt.Sprintf("%s.s%d", prefix, k)
+	eo.SharedSeq = seq
+	eo.SharedPartition = part
+
+	eo.PoolBytes = o.Base.PoolBytes / n
+	if min := uint64(poolHeaderBytes + 2*(64<<10)); eo.PoolBytes < min {
+		eo.PoolBytes = min
+	}
+	// Keep at least two slots per shard so one can flush while the other
+	// absorbs writes.
+	if max := (eo.PoolBytes - poolHeaderBytes) / 2; eo.SubMemTableBytes > max {
+		eo.SubMemTableBytes = max &^ 7
+	}
+	if eo.SubMemTableBytes < 64<<10 {
+		eo.SubMemTableBytes = 64 << 10
+	}
+	eo.ImmZoneBytes = o.Base.ImmZoneBytes / n
+	if min := 2 * eo.PoolBytes; eo.ImmZoneBytes < min {
+		eo.ImmZoneBytes = min
+	}
+	if eo.ImmZoneBytes < 1<<20 {
+		eo.ImmZoneBytes = 1 << 20
+	}
+	eo.FSBytes = o.Base.FSBytes / n
+	if eo.FSBytes < 8<<20 {
+		eo.FSBytes = 8 << 20
+	}
+	eo.ManifestBytes = o.Base.ManifestBytes / n
+	if eo.ManifestBytes < 1<<20 {
+		eo.ManifestBytes = 1 << 20
+	}
+	return eo
+}
+
+// writeReq is one caller's parked write: its operations with pre-assigned
+// sequence numbers, the virtual arrival time, and the completion signal. The
+// writer fills doneV/err before closing done.
+type writeReq struct {
+	ops   []batchOp
+	seqs  []uint64
+	bytes uint64 // rough encoded-size estimate for group byte budgeting
+	at    int64  // caller's virtual clock at submission
+	doneV int64  // group fence's virtual completion time
+	err   error
+	done  chan struct{}
+}
+
+// shardWriter is one shard's group-commit loop: a dedicated goroutine (with
+// its own virtual thread pinned to core shard%cores) that drains the request
+// channel, coalesces adjacent requests into one commit, and answers every
+// member with the group's fence time.
+type shardWriter struct {
+	sh  *Sharded
+	eng *Engine
+	id  int
+	th  *hw.Thread
+	ch  chan *writeReq
+
+	maxOps   int
+	maxBytes uint64
+	windowNs int64
+
+	mu     sync.RWMutex // guards closed against concurrent submits
+	closed bool
+}
+
+func (w *shardWriter) submit(req *writeReq) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.closed {
+		return errEngineClosed
+	}
+	w.ch <- req
+	return nil
+}
+
+func (w *shardWriter) stop() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.ch)
+	}
+	w.mu.Unlock()
+}
+
+// loop drains requests, assembling groups bounded by op count, encoded bytes,
+// and the virtual arrival window. pending carries a request that arrived past
+// the current group's window into the next group.
+func (w *shardWriter) loop() {
+	defer w.sh.wg.Done()
+	var pending *writeReq
+	group := make([]*writeReq, 0, 16)
+	for {
+		var first *writeReq
+		if pending != nil {
+			first, pending = pending, nil
+		} else {
+			var ok bool
+			first, ok = <-w.ch
+			if !ok {
+				return
+			}
+		}
+		group = append(group[:0], first)
+		nOps := len(first.ops)
+		nBytes := first.bytes
+		drained := false
+	coalesce:
+		for nOps < w.maxOps && nBytes < w.maxBytes && w.windowNs >= 0 {
+			select {
+			case r, ok := <-w.ch:
+				if !ok {
+					drained = true
+					break coalesce
+				}
+				if r.at-first.at > w.windowNs {
+					pending = r
+					break coalesce
+				}
+				group = append(group, r)
+				nOps += len(r.ops)
+				nBytes += r.bytes
+			default:
+				break coalesce
+			}
+		}
+		w.commitGroup(group)
+		if drained && pending == nil {
+			return
+		}
+	}
+}
+
+// commitGroup appends the whole group with one commitOps call (one slot
+// append, one commit CAS) and one fsync-equivalent fence, then releases every
+// member at the fence's virtual time. On a multi-member failure each request
+// retries alone so one oversized batch cannot poison its neighbours.
+func (w *shardWriter) commitGroup(group []*writeReq) {
+	th := w.th
+	// The group starts when the writer is free AND the last member arrived.
+	start := th.Clock.Now()
+	for _, r := range group {
+		if r.at > start {
+			start = r.at
+		}
+	}
+	th.Clock.AdvanceTo(start)
+
+	var err error
+	if len(group) == 1 {
+		err = w.eng.commitOps(th, group[0].ops, group[0].seqs)
+	} else {
+		total := 0
+		for _, r := range group {
+			total += len(r.ops)
+		}
+		ops := make([]batchOp, 0, total)
+		seqs := make([]uint64, 0, total)
+		for _, r := range group {
+			ops = append(ops, r.ops...)
+			seqs = append(seqs, r.seqs...)
+		}
+		err = w.eng.commitOps(th, ops, seqs)
+		if err != nil {
+			// Degrade to per-request commits: a capacity error belongs to the
+			// request that overflowed, not to the whole group.
+			for _, r := range group {
+				w.commitGroup([]*writeReq{r})
+			}
+			return
+		}
+	}
+	if err == nil {
+		// The group's single persistence fence (the amortized fsync).
+		th.InPhase(hw.PhaseWAL, func() {
+			th.Clock.Advance(w.sh.m.Costs.Fence)
+		})
+	}
+	doneV := th.Clock.Now()
+
+	w.sh.stats.groups.Add(1)
+	w.sh.stats.groupedOps.Add(int64(len(group)))
+	w.sh.perShardGroups[w.id].Add(1)
+	w.sh.batchHist.Record(int64(len(group)))
+	for _, r := range group {
+		r.doneV = doneV
+		r.err = err
+		w.sh.waitHist.Record(doneV - r.at)
+		close(r.done)
+	}
+}
+
+// shardStats aggregates router-level counters.
+type shardStats struct {
+	groups     atomic.Int64 // group commits executed
+	groupedOps atomic.Int64 // write requests that went through group commit
+	crossBatch atomic.Int64 // cross-shard two-phase batches committed
+}
+
+// Sharded is the N-shard CacheKV deployment. It implements kvstore.DB.
+type Sharded struct {
+	m    *hw.Machine
+	opts ShardedOptions
+
+	prefix  string
+	seq     *atomic.Uint64
+	part    cache.PartitionID
+	ownPart bool
+
+	shards  []*Engine
+	writers []*shardWriter
+	wg      sync.WaitGroup
+
+	tpc *twoPC
+
+	stats          shardStats
+	perShardGroups []atomic.Int64
+	batchHist      *histogram.H // ops per group commit
+	waitHist       *histogram.H // caller park time (virtual ns)
+
+	trace  *obs.Trace
+	closed atomic.Bool
+	halted atomic.Bool
+}
+
+// OpenSharded creates (or recovers) an N-shard CacheKV deployment on m.
+func OpenSharded(m *hw.Machine, o ShardedOptions, th *hw.Thread) (*Sharded, error) {
+	o = o.withDefaults()
+	prefix := o.Base.RegionPrefix
+	if prefix == "" {
+		prefix = "cachekv"
+	}
+	sh := &Sharded{
+		m:              m,
+		opts:           o,
+		prefix:         prefix,
+		trace:          o.Base.Trace,
+		batchHist:      histogram.New(),
+		waitHist:       histogram.New(),
+		perShardGroups: make([]atomic.Int64, o.Shards),
+	}
+	if o.Base.SharedSeq != nil {
+		sh.seq = o.Base.SharedSeq
+	} else {
+		sh.seq = new(atomic.Uint64)
+	}
+	if o.Base.SharedPartition != nil {
+		sh.part = *o.Base.SharedPartition
+	} else {
+		part, err := m.Cache.Reserve(int(o.Base.PoolBytes))
+		if err != nil {
+			return nil, fmt.Errorf("cachekv: pinning sharded pool: %w", err)
+		}
+		sh.part = part
+		sh.ownPart = true
+	}
+
+	for k := 0; k < o.Shards; k++ {
+		eo := o.shardOptions(k, prefix, sh.seq, &sh.part)
+		eng, err := Open(m, eo, th)
+		if err != nil {
+			sh.teardown(th)
+			return nil, fmt.Errorf("cachekv: opening shard %d/%d: %w", k, o.Shards, err)
+		}
+		sh.shards = append(sh.shards, eng)
+	}
+
+	// Two-phase commit logs, and replay of any in-doubt cross-shard groups.
+	tpc, err := openTwoPC(sh, th)
+	if err != nil {
+		sh.teardown(th)
+		return nil, err
+	}
+	sh.tpc = tpc
+
+	// Group-commit writers, one per shard, pinned round-robin over the cores.
+	maxBytes := o.Base.SubMemTableBytes / 4
+	if maxBytes > 32<<10 {
+		maxBytes = 32 << 10
+	}
+	if maxBytes < 4<<10 {
+		maxBytes = 4 << 10
+	}
+	for k := 0; k < o.Shards; k++ {
+		w := &shardWriter{
+			sh:       sh,
+			eng:      sh.shards[k],
+			id:       k,
+			th:       m.NewThread(k),
+			ch:       make(chan *writeReq, 1024),
+			maxOps:   o.GroupCommitMaxOps,
+			maxBytes: maxBytes,
+			windowNs: o.GroupCommitWindow,
+		}
+		if o.GroupCommitWindow < 0 {
+			w.windowNs = -1
+		}
+		sh.writers = append(sh.writers, w)
+		sh.wg.Add(1)
+		go w.loop()
+	}
+	return sh, nil
+}
+
+// teardown closes whatever opened during a failed OpenSharded.
+func (sh *Sharded) teardown(th *hw.Thread) {
+	for _, e := range sh.shards {
+		_ = e.Close(th)
+	}
+	if sh.ownPart {
+		sh.m.Cache.Release(sh.part)
+	}
+}
+
+// ShardOf returns the shard index key routes to: a hash partition, so every
+// version of a key lives in exactly one shard and per-key max-seq resolution
+// stays shard-local.
+func (sh *Sharded) ShardOf(key []byte) int {
+	return int(util.Hash64(key) % uint64(len(sh.shards)))
+}
+
+// Shards returns the shard count.
+func (sh *Sharded) Shards() int { return len(sh.shards) }
+
+// Shard exposes shard k's engine (tests and tooling).
+func (sh *Sharded) Shard(k int) *Engine { return sh.shards[k] }
+
+// WriterCore reports the virtual core shard k's group-commit writer is pinned
+// to (k modulo the machine's core count) — the deterministic session/shard
+// core mapping documented on cachekv.DB.Session.
+func (sh *Sharded) WriterCore(k int) int { return sh.writers[k].th.Core }
+
+func (sh *Sharded) err() error {
+	if sh.closed.Load() {
+		return errEngineClosed
+	}
+	if sh.halted.Load() {
+		return errEngineCrashed
+	}
+	return nil
+}
+
+// Name implements kvstore.DB.
+func (sh *Sharded) Name() string {
+	return fmt.Sprintf("CacheKV(shards=%d)", len(sh.shards))
+}
+
+// submitAndWait routes one pre-sequenced request to shard idx's writer and
+// parks the caller until the group's fence lands. The park is attributed to
+// the lock layer: it is commit-ordering wait, the sharded analogue of the
+// single-writer lock the paper's Figure 5(b) charges there.
+func (sh *Sharded) submitAndWait(th *hw.Thread, idx int, ops []batchOp, seqs []uint64) error {
+	var bytes uint64
+	for _, op := range ops {
+		bytes += uint64(len(op.key)+len(op.value)) + 24
+	}
+	req := &writeReq{ops: ops, seqs: seqs, bytes: bytes, at: th.Clock.Now(), done: make(chan struct{})}
+	if err := sh.writers[idx].submit(req); err != nil {
+		return err
+	}
+	th.InPhase(hw.PhaseLock, func() {
+		<-req.done
+		th.Clock.AdvanceTo(req.doneV)
+	})
+	return req.err
+}
+
+func (sh *Sharded) write1(th *hw.Thread, key, value []byte, kind util.ValueKind) error {
+	if err := sh.err(); err != nil {
+		return err
+	}
+	// Router lookup: one DRAM access, same charge as the engine's global
+	// metadata structure.
+	th.ChargeDRAM(1)
+	idx := sh.ShardOf(key)
+	seq := sh.seq.Add(1)
+	return sh.submitAndWait(th, idx,
+		[]batchOp{{key: key, value: value, kind: kind}}, []uint64{seq})
+}
+
+// Put implements kvstore.DB.
+func (sh *Sharded) Put(th *hw.Thread, key, value []byte) error {
+	return sh.write1(th, key, value, util.KindValue)
+}
+
+// Delete implements kvstore.DB.
+func (sh *Sharded) Delete(th *hw.Thread, key []byte) error {
+	if err := sh.write1(th, key, nil, util.KindDelete); err != nil {
+		return err
+	}
+	sh.shards[sh.ShardOf(key)].stats.Deletes.Add(1)
+	return nil
+}
+
+// Get implements kvstore.DB: reads route directly to the owning shard on the
+// caller's thread — no group, no park.
+func (sh *Sharded) Get(th *hw.Thread, key []byte) ([]byte, error) {
+	if err := sh.err(); err != nil {
+		return nil, err
+	}
+	th.ChargeDRAM(1)
+	return sh.shards[sh.ShardOf(key)].Get(th, key)
+}
+
+// Scan implements kvstore.DB: an ordered merge over every shard's sources at
+// one shared-sequence snapshot.
+func (sh *Sharded) Scan(th *hw.Thread, start []byte, limit int, fn func(key, value []byte) bool) (int, error) {
+	if err := sh.err(); err != nil {
+		return 0, err
+	}
+	snapshot := sh.seq.Load()
+	var its []lsm.Iterator
+	for _, e := range sh.shards {
+		sits, err := e.internalIterators(th)
+		if err != nil {
+			return 0, err
+		}
+		its = append(its, sits...)
+	}
+	merged := lsm.NewMergingIterator(its...)
+	return kvstore.UserScan(merged, start, snapshot, limit, fn), nil
+}
+
+// Apply commits an atomic multi-key batch. A batch whose keys all hash to one
+// shard commits exactly like the single-engine path (one CAS); a cross-shard
+// batch goes through the two-phase protocol in twopc.go.
+func (sh *Sharded) Apply(th *hw.Thread, b *Batch) error {
+	if err := sh.err(); err != nil {
+		return err
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	th.ChargeDRAM(1)
+	// Partition the batch by shard, preserving op order within each shard.
+	n := uint64(len(b.ops))
+	firstSeq := sh.seq.Add(n) - n + 1
+	byShard := make(map[int]*shardPortion)
+	order := make([]int, 0, 2)
+	for i, op := range b.ops {
+		k := sh.ShardOf(op.key)
+		p := byShard[k]
+		if p == nil {
+			p = &shardPortion{shard: k}
+			byShard[k] = p
+			order = append(order, k)
+		}
+		p.ops = append(p.ops, op)
+		p.seqs = append(p.seqs, firstSeq+uint64(i))
+	}
+	if len(byShard) == 1 {
+		k := order[0]
+		return sh.submitAndWait(th, k, byShard[k].ops, byShard[k].seqs)
+	}
+	portions := make([]*shardPortion, 0, len(byShard))
+	// Deterministic shard order for the prepare/apply sequence.
+	for k := range sh.shards {
+		if p, ok := byShard[k]; ok {
+			portions = append(portions, p)
+		}
+	}
+	return sh.tpc.commit(th, portions)
+}
+
+// FlushAll implements kvstore.DB: flush every shard's pipeline.
+func (sh *Sharded) FlushAll(th *hw.Thread) error {
+	if err := sh.err(); err != nil {
+		return err
+	}
+	for _, e := range sh.shards {
+		if err := e.FlushAll(th); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Halt crash-stops every shard (power failure semantics).
+func (sh *Sharded) Halt() {
+	sh.halted.Store(true)
+	for _, e := range sh.shards {
+		e.Halt()
+	}
+	if sh.tpc != nil {
+		sh.tpc.abort()
+	}
+}
+
+// Close implements kvstore.DB: drain the writers, close every shard, release
+// the shared partition.
+func (sh *Sharded) Close(th *hw.Thread) error {
+	if sh.closed.Swap(true) {
+		return nil
+	}
+	for _, w := range sh.writers {
+		w.stop()
+	}
+	sh.wg.Wait()
+	var first error
+	for _, e := range sh.shards {
+		if err := e.Close(th); err != nil && first == nil {
+			first = err
+		}
+	}
+	if sh.ownPart {
+		sh.m.Cache.Release(sh.part)
+	}
+	return first
+}
+
+// FilterStats aggregates the shards' negative-filter counters.
+func (sh *Sharded) FilterStats() (probes, negatives int64) {
+	for _, e := range sh.shards {
+		p, n := e.FilterStats()
+		probes += p
+		negatives += n
+	}
+	return probes, negatives
+}
+
+// BlockCacheStats aggregates the shards' block-cache counters.
+func (sh *Sharded) BlockCacheStats() (hits, misses int64) {
+	for _, e := range sh.shards {
+		h, m := e.BlockCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// GroupCommitStats reports the router's batching effectiveness: groups
+// committed, write requests coalesced into them, and cross-shard two-phase
+// batches.
+func (sh *Sharded) GroupCommitStats() (groups, groupedOps, crossShardBatches int64) {
+	return sh.stats.groups.Load(), sh.stats.groupedOps.Load(), sh.stats.crossBatch.Load()
+}
+
+// GroupCommitHists exposes the group-size and caller-wait histograms.
+func (sh *Sharded) GroupCommitHists() (batchSize, waitNs *histogram.H) {
+	return sh.batchHist, sh.waitHist
+}
+
+// RegisterObs publishes aggregate engine counters under the standard names
+// (so existing dashboards keep working), per-shard labeled variants, and the
+// group-commit instrumentation.
+func (sh *Sharded) RegisterObs(r *obs.Registry) {
+	sum := func(f func(*Stats) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, e := range sh.shards {
+				t += f(&e.stats)
+			}
+			return t
+		}
+	}
+	r.Counter("engine_puts", sum(func(s *Stats) int64 { return s.Puts.Load() }))
+	r.Counter("engine_gets", sum(func(s *Stats) int64 { return s.Gets.Load() }))
+	r.Counter("engine_deletes", sum(func(s *Stats) int64 { return s.Deletes.Load() }))
+	r.Counter("engine_flushes", sum(func(s *Stats) int64 { return s.Flushes.Load() }))
+	r.Counter("engine_spills", sum(func(s *Stats) int64 { return s.Spills.Load() }))
+	r.Counter("engine_compactions", sum(func(s *Stats) int64 { return s.Compactions.Load() }))
+	r.Counter("engine_read_syncs", sum(func(s *Stats) int64 { return s.ReadSyncs.Load() }))
+	r.Counter("engine_pool_slots", func() int64 {
+		var t int64
+		for _, e := range sh.shards {
+			t += int64(e.pool.numSlots())
+		}
+		return t
+	})
+	r.Counter("engine_shards", func() int64 { return int64(len(sh.shards)) })
+
+	r.Counter("group_commits", func() int64 { return sh.stats.groups.Load() })
+	r.Counter("group_commit_ops", func() int64 { return sh.stats.groupedOps.Load() })
+	r.Counter("cross_shard_batches", func() int64 { return sh.stats.crossBatch.Load() })
+	r.Gauge("group_commit_batch_mean", func() float64 { return sh.batchHist.Mean() })
+	r.Gauge("group_commit_batch_p99", func() float64 { return float64(sh.batchHist.Percentile(0.99)) })
+	r.Gauge("group_commit_wait_mean_ns", func() float64 { return sh.waitHist.Mean() })
+	r.Gauge("group_commit_wait_p99_ns", func() float64 { return float64(sh.waitHist.Percentile(0.99)) })
+
+	for k := range sh.shards {
+		k := k
+		e := sh.shards[k]
+		r.Counter(fmt.Sprintf("shard%d_engine_puts", k), func() int64 { return e.stats.Puts.Load() })
+		r.Counter(fmt.Sprintf("shard%d_engine_gets", k), func() int64 { return e.stats.Gets.Load() })
+		r.Counter(fmt.Sprintf("shard%d_engine_flushes", k), func() int64 { return e.stats.Flushes.Load() })
+		r.Counter(fmt.Sprintf("shard%d_group_commits", k), func() int64 { return sh.perShardGroups[k].Load() })
+	}
+}
+
+var (
+	_ kvstore.DB       = (*Sharded)(nil)
+	_ obs.ObsRegistrar = (*Sharded)(nil)
+)
+
+// errBatchTooLarge rejects cross-shard portions that could never replay into
+// a minimum-size sub-MemTable.
+var errBatchTooLarge = errors.New("cachekv: cross-shard batch portion exceeds sub-MemTable capacity")

@@ -1,0 +1,380 @@
+package core
+
+// twopc.go implements the two-phase commit protocol for cross-shard atomic
+// batches (DESIGN.md §8.3). A batch whose keys span several shards cannot be
+// committed by one header CAS, so the router writes write-ahead records:
+//
+//	prepare (per shard k, into cachekv.s<k>.2pc):
+//	  'P' | batchID u64 | shard u32 | nops u32 |
+//	      { kind u8 | seq u64 | klen u32 | vlen u32 | key | value } * nops
+//	commit marker (into cachekv.2pc.commit):
+//	  'C' | batchID u64
+//
+// The commit marker's fence is the batch's commit point. Recovery reads the
+// commit log first; prepare records whose batchID carries a durable marker are
+// replayed into their shard (idempotently — the recorded sequence numbers are
+// reused, so a replay over an already-recovered entry resolves to the same
+// version), and prepare records without a marker are in-doubt and discarded.
+// Either every shard's portion becomes visible or none does.
+
+import (
+	"fmt"
+	"sync"
+
+	"cachekv/internal/hw"
+	"cachekv/internal/util"
+	"cachekv/internal/wal"
+)
+
+// shardPortion is the slice of a cross-shard batch owned by one shard.
+type shardPortion struct {
+	shard int
+	ops   []batchOp
+	seqs  []uint64
+}
+
+// encodedSize mirrors commitOps' slot footprint: per entry, EncodeEntry's
+// len/CRC header + body (uvarint klen, uvarint vlen, fixed64 trailer, key,
+// value), rounded up to 8-byte alignment.
+func (p *shardPortion) encodedSize() uint64 {
+	var need uint64
+	for _, op := range p.ops {
+		k := uint64(len(op.key))
+		v := uint64(len(op.value))
+		need += align8(8 + uvarintLen(k) + uvarintLen(v) + 8 + k + v)
+	}
+	return need
+}
+
+func uvarintLen(v uint64) uint64 {
+	n := uint64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// twoPC owns the prepare/commit logs and the in-flight bookkeeping.
+type twoPC struct {
+	sh *Sharded
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	prepare  []*wal.Writer // one per shard
+	prepRgs  []hw.Region
+	commitW  *wal.Writer
+	commitRg hw.Region
+	nextID   uint64
+	inflight int // committed batches whose portions are still being applied
+	aborted  bool
+}
+
+func (sh *Sharded) prepareRegionName(k int) string {
+	return fmt.Sprintf("%s.s%d.2pc", sh.prefix, k)
+}
+
+func (sh *Sharded) commitRegionName() string {
+	return sh.prefix + ".2pc.commit"
+}
+
+// openTwoPC allocates (or, after a crash, recovers and replays) the two-phase
+// logs. Shard engines must already be open: replay feeds committed portions
+// back through each shard's commitOps.
+func openTwoPC(sh *Sharded, th *hw.Thread) (*twoPC, error) {
+	t := &twoPC{sh: sh, nextID: 1}
+	t.cond = sync.NewCond(&t.mu)
+
+	m := sh.m
+	commitRg, recovered := m.LookupRegion(sh.commitRegionName())
+	if !recovered {
+		commitRg = m.Alloc(sh.commitRegionName(), sh.opts.CommitLogBytes, 0)
+	}
+	t.commitRg = commitRg
+	for k := range sh.shards {
+		rg, ok := m.LookupRegion(sh.prepareRegionName(k))
+		if !ok {
+			rg = m.Alloc(sh.prepareRegionName(k), sh.opts.PrepareLogBytes, 0)
+		}
+		t.prepRgs = append(t.prepRgs, rg)
+	}
+
+	if recovered {
+		if err := t.replay(th); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fresh writers zero the head block, logically truncating both logs:
+	// everything replayed above now lives in the shards' sub-MemTables.
+	t.commitW = wal.NewWriter(m, t.commitRg, th)
+	for _, rg := range t.prepRgs {
+		t.prepare = append(t.prepare, wal.NewWriter(m, rg, th))
+	}
+	return t, nil
+}
+
+// replay resolves in-doubt cross-shard groups after a crash: collect durable
+// commit markers, then re-apply every prepare record whose batch committed.
+func (t *twoPC) replay(th *hw.Thread) error {
+	sh := t.sh
+	committed := make(map[uint64]bool)
+	var maxID, maxSeq uint64
+	cr := wal.NewReader(sh.m, t.commitRg)
+	_ = cr.ReplayAll(th, func(rec []byte) error {
+		if len(rec) == 9 && rec[0] == twopcCommitTag {
+			id := util.Fixed64(rec[1:])
+			committed[id] = true
+			if id > maxID {
+				maxID = id
+			}
+		}
+		return nil
+	})
+
+	replayed, indoubt := 0, 0
+	var err error
+	th.InPhase(hw.PhaseRecovery, func() {
+		for k := range sh.shards {
+			pr := wal.NewReader(sh.m, t.prepRgs[k])
+			rerr := pr.ReplayAll(th, func(rec []byte) error {
+				p, id, ok := decodePrepare(rec)
+				if !ok || p.shard != k {
+					return nil // torn tail or foreign record: durable prefix ends here
+				}
+				if id > maxID {
+					maxID = id
+				}
+				if !committed[id] {
+					indoubt++
+					return nil // no durable marker: the batch never committed
+				}
+				for _, s := range p.seqs {
+					if s > maxSeq {
+						maxSeq = s
+					}
+				}
+				replayed++
+				return sh.shards[k].commitOps(th, p.ops, p.seqs)
+			})
+			if rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("cachekv: two-phase replay: %w", err)
+	}
+	// The shared counter may lag the replayed sequence numbers.
+	for {
+		cur := sh.seq.Load()
+		if maxSeq <= cur || sh.seq.CompareAndSwap(cur, maxSeq) {
+			break
+		}
+	}
+	t.nextID = maxID + 1
+	sh.trace.Emit(th.Clock.Now(), "twopc_recovery",
+		"replayed", replayed, "indoubt", indoubt, "next_id", t.nextID)
+	return nil
+}
+
+const (
+	twopcPrepareTag = byte('P')
+	twopcCommitTag  = byte('C')
+)
+
+func encodePrepare(id uint64, p *shardPortion) []byte {
+	rec := make([]byte, 0, 64)
+	rec = append(rec, twopcPrepareTag)
+	rec = util.PutFixed64(rec, id)
+	rec = util.PutFixed32(rec, uint32(p.shard))
+	rec = util.PutFixed32(rec, uint32(len(p.ops)))
+	for i, op := range p.ops {
+		rec = append(rec, byte(op.kind))
+		rec = util.PutFixed64(rec, p.seqs[i])
+		rec = util.PutFixed32(rec, uint32(len(op.key)))
+		rec = util.PutFixed32(rec, uint32(len(op.value)))
+		rec = append(rec, op.key...)
+		rec = append(rec, op.value...)
+	}
+	return rec
+}
+
+func decodePrepare(rec []byte) (*shardPortion, uint64, bool) {
+	if len(rec) < 17 || rec[0] != twopcPrepareTag {
+		return nil, 0, false
+	}
+	id := util.Fixed64(rec[1:])
+	p := &shardPortion{shard: int(util.Fixed32(rec[9:]))}
+	nops := int(util.Fixed32(rec[13:]))
+	off := 17
+	for i := 0; i < nops; i++ {
+		if off+17 > len(rec) {
+			return nil, 0, false
+		}
+		kind := util.ValueKind(rec[off])
+		seq := util.Fixed64(rec[off+1:])
+		klen := int(util.Fixed32(rec[off+9:]))
+		vlen := int(util.Fixed32(rec[off+13:]))
+		off += 17
+		if off+klen+vlen > len(rec) {
+			return nil, 0, false
+		}
+		op := batchOp{
+			key:  append([]byte(nil), rec[off:off+klen]...),
+			kind: kind,
+		}
+		off += klen
+		if vlen > 0 {
+			op.value = append([]byte(nil), rec[off:off+vlen]...)
+		}
+		off += vlen
+		p.ops = append(p.ops, op)
+		p.seqs = append(p.seqs, seq)
+	}
+	if off != len(rec) {
+		return nil, 0, false
+	}
+	return p, id, true
+}
+
+func encodeCommit(id uint64) []byte {
+	rec := make([]byte, 0, 9)
+	rec = append(rec, twopcCommitTag)
+	return util.PutFixed64(rec, id)
+}
+
+// needsResetLocked reports whether either log is past half capacity.
+func (t *twoPC) needsResetLocked() bool {
+	if t.commitW.Offset() > t.commitRg.Size/2 {
+		return true
+	}
+	for _, w := range t.prepare {
+		if w.Offset() > t.prepRgs[0].Size/2 {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeResetLocked truncates both logs once no committed batch is still
+// applying. Safe because every batch recorded in the logs has either fully
+// applied to its shards' sub-MemTables (inflight == 0) or never got a marker.
+func (t *twoPC) maybeResetLocked(th *hw.Thread) {
+	if !t.needsResetLocked() {
+		return
+	}
+	for t.inflight > 0 && !t.aborted {
+		t.cond.Wait()
+	}
+	if t.aborted {
+		return
+	}
+	t.commitW.Reset(th)
+	for _, w := range t.prepare {
+		w.Reset(th)
+	}
+}
+
+// abort wakes anyone parked in maybeResetLocked after a crash-stop.
+func (t *twoPC) abort() {
+	t.mu.Lock()
+	t.aborted = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// commit runs the two-phase protocol for portions (ascending shard order):
+// prepare records on every participant, one fence, then the commit marker and
+// its fence — the commit point — and finally the portions flow through each
+// shard's group-commit writer. The caller's thread performs all log appends
+// under t.mu, so the persistence-op stream is deterministic for a
+// single-threaded workload (crashsweep relies on this).
+func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion) error {
+	// Capacity pre-check against the smallest slot elasticity can produce:
+	// a portion that cannot replay into a minimum-size sub-MemTable must be
+	// rejected before any record is written.
+	for _, p := range portions {
+		if p.encodedSize() > (64<<10)-slotHdrSize {
+			return errBatchTooLarge
+		}
+	}
+
+	sh := t.sh
+	t.mu.Lock()
+	if t.aborted {
+		t.mu.Unlock()
+		return errEngineCrashed
+	}
+	if sh.closed.Load() {
+		t.mu.Unlock()
+		return errEngineClosed
+	}
+	t.maybeResetLocked(th)
+	if t.aborted {
+		t.mu.Unlock()
+		return errEngineCrashed
+	}
+	id := t.nextID
+	t.nextID++
+	var logErr error
+	th.InPhase(hw.PhaseWAL, func() {
+		for _, p := range portions {
+			if _, err := t.prepare[p.shard].Append(th, encodePrepare(id, p)); err != nil {
+				logErr = err
+				return
+			}
+		}
+		// Fence 1: every participant's prepare record is durable.
+		th.Clock.Advance(sh.m.Costs.Fence)
+		if _, err := t.commitW.Append(th, encodeCommit(id)); err != nil {
+			logErr = err
+			return
+		}
+		// Fence 2: the marker is durable — the batch's commit point.
+		th.Clock.Advance(sh.m.Costs.Fence)
+	})
+	if logErr != nil {
+		t.mu.Unlock()
+		return fmt.Errorf("cachekv: two-phase log: %w", logErr)
+	}
+	t.inflight++
+	t.mu.Unlock()
+
+	// Apply each portion through its shard's writer. Submissions share one
+	// virtual arrival stamp so the shards absorb their portions in parallel
+	// virtual time; the host-side waits are sequential for determinism.
+	at := th.Clock.Now()
+	doneV := at
+	var applyErr error
+	th.InPhase(hw.PhaseLock, func() {
+		for _, p := range portions {
+			var bytes uint64
+			for _, op := range p.ops {
+				bytes += uint64(len(op.key)+len(op.value)) + 24
+			}
+			req := &writeReq{ops: p.ops, seqs: p.seqs, bytes: bytes, at: at, done: make(chan struct{})}
+			if err := sh.writers[p.shard].submit(req); err != nil {
+				if applyErr == nil {
+					applyErr = err
+				}
+				continue
+			}
+			<-req.done
+			if req.err != nil && applyErr == nil {
+				applyErr = req.err
+			}
+			if req.doneV > doneV {
+				doneV = req.doneV
+			}
+		}
+		th.Clock.AdvanceTo(doneV)
+	})
+
+	t.mu.Lock()
+	t.inflight--
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	sh.stats.crossBatch.Add(1)
+	return applyErr
+}

@@ -145,6 +145,31 @@ func slmdbOptions(v baseline.Variant, tr *obs.Trace) slmdb.Options {
 	return o
 }
 
+// shardedSpec is the sharded CacheKV router on the harness platform: the
+// coreOptions budget split across shards (the router divides the pool, zones,
+// and file-layer capacity itself). Kept out of AllEngines so the classic
+// per-engine sweeps and differential tests keep their historical scope; the
+// cross-shard sweep and FindEngine reach it by name.
+func shardedSpec(name string, shards int) EngineSpec {
+	open := func(m *hw.Machine, th *hw.Thread, tr *obs.Trace) (kvstore.DB, error) {
+		o := coreOptions()
+		o.Trace = tr
+		return core.OpenSharded(m, core.ShardedOptions{Shards: shards, Base: o}, th)
+	}
+	return EngineSpec{
+		Name: name,
+		// Single-key writes live in pinned cache lines exactly like the plain
+		// engine's, so the ADR contract is unchanged. (Cross-shard batches are
+		// stronger — their two-phase log is written with non-temporal stores —
+		// and the cross-shard oracle asserts that separately.)
+		DurableADR: false,
+		Open: func(m *hw.Machine, th *hw.Thread) (kvstore.DB, error) {
+			return open(m, th, nil)
+		},
+		OpenTraced: open,
+	}
+}
+
 // AllEngines returns a spec for every engine variant the repository ships:
 // CacheKV and its two ablations, and both baselines with their eADR
 // variants.
@@ -162,12 +187,16 @@ func AllEngines() []EngineSpec {
 	}
 }
 
-// FindEngine returns the spec named name.
+// FindEngine returns the spec named name. Beyond AllEngines it resolves
+// "cachekv-sharded", the cross-shard harness router.
 func FindEngine(name string) (EngineSpec, bool) {
 	for _, s := range AllEngines() {
 		if s.Name == name {
 			return s, true
 		}
+	}
+	if name == shardedEngineName {
+		return shardedSpec(shardedEngineName, crossShardShards), true
 	}
 	return EngineSpec{}, false
 }
