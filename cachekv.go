@@ -61,6 +61,13 @@ const (
 // ErrNotFound is returned by Get for missing (or deleted) keys.
 var ErrNotFound = kvstore.ErrNotFound
 
+// ErrStalled is returned by deadline-bounded writes (Options.
+// WriteStallDeadline, Session.PutWithDeadline and friends) when the engine is
+// overloaded and the write could not be admitted before its deadline. The
+// write is fully absent — nothing was committed — so retrying later is safe.
+// Test with errors.Is.
+var ErrStalled = core.ErrStalled
+
 // Options configure the platform and the chosen engine. The zero value opens
 // CacheKV on the paper's testbed configuration (36 MB eADR LLC, 24 cores)
 // with a 4 GiB PMem and the Section IV-A engine defaults.
@@ -106,6 +113,21 @@ type Options struct {
 	// (default 64).
 	GroupCommitMaxOps int
 
+	// WriteStallDeadline bounds how long a write may wait for admission when
+	// the engine is overloaded (flow control in Slowdown/Stop, a full
+	// sub-MemTable pool, a saturated ImmZone), in virtual nanoseconds.
+	// Writes that cannot be admitted in time fail with ErrStalled instead of
+	// blocking; a stalled write is fully absent. 0 (the default) keeps the
+	// legacy behavior: writes wait indefinitely. Per-call overrides are
+	// available via Session.PutWithDeadline and friends on CacheKV-family
+	// engines.
+	WriteStallDeadline int64
+	// DisableFlowControl turns off write-path flow control (the
+	// OK/Slowdown/Stop state machine over L0, flush-backlog and 2PC-WAL
+	// pressure). Deadlines still bound pool/ImmZone waits. Useful for
+	// baseline comparisons; production-shaped runs should leave it on.
+	DisableFlowControl bool
+
 	// BlockCacheMB sizes the shared DRAM block cache over SSTable blocks,
 	// shared by every table reader (default 8 MiB). Negative disables it.
 	BlockCacheMB int
@@ -150,6 +172,9 @@ func (o Options) validate() error {
 		if f.v < 0 {
 			return fmt.Errorf("cachekv: Options.%s must not be negative (got %d); use 0 for the default", f.name, f.v)
 		}
+	}
+	if o.WriteStallDeadline < 0 {
+		return fmt.Errorf("cachekv: Options.WriteStallDeadline must not be negative (got %d); use 0 for no deadline", o.WriteStallDeadline)
 	}
 	return nil
 }
@@ -272,6 +297,8 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread, trace *obs.Trace) (k
 			o.SkiplistCompaction = false
 		}
 		o.Trace = trace
+		o.WriteStallDeadline = opts.WriteStallDeadline
+		o.DisableFlowControl = opts.DisableFlowControl
 		if opts.Shards > 1 {
 			return core.OpenSharded(m, core.ShardedOptions{
 				Shards:            opts.Shards,
@@ -413,6 +440,19 @@ type Metrics struct {
 	// sub-MemTables, the trigger-1 lazy sync).
 	FilterProbes    int64
 	FilterNegatives int64
+
+	// Write-path flow control (CacheKV-family engines; zero elsewhere).
+	// StallState is the current state — 0 OK, 1 Slowdown, 2 Stop (max across
+	// shards on a sharded store) — and like the ratio fields it is carried,
+	// not subtracted, by Sub. The rest are cumulative counters: state entries,
+	// writes delayed by token pacing (and the virtual ns they waited), and
+	// writes rejected with ErrStalled.
+	StallState     int64
+	StallSlowdowns int64
+	StallStops     int64
+	WritesDelayed  int64
+	WriteDelayNs   int64
+	WritesRejected int64
 }
 
 // Sub returns the interval delta m - prev: raw counters subtract and the
@@ -433,6 +473,12 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		BlockCacheMisses: m.BlockCacheMisses - prev.BlockCacheMisses,
 		FilterProbes:     m.FilterProbes - prev.FilterProbes,
 		FilterNegatives:  m.FilterNegatives - prev.FilterNegatives,
+		StallState:       m.StallState, // instantaneous, carried like the ratios
+		StallSlowdowns:   m.StallSlowdowns - prev.StallSlowdowns,
+		StallStops:       m.StallStops - prev.StallStops,
+		WritesDelayed:    m.WritesDelayed - prev.WritesDelayed,
+		WriteDelayNs:     m.WriteDelayNs - prev.WriteDelayNs,
+		WritesRejected:   m.WritesRejected - prev.WritesRejected,
 	}
 	d.WriteHitRatio = obs.SafeRatio(d.LineHits, d.LineArrivals)
 	if d.CallerWriteBytes > 0 {
@@ -467,6 +513,15 @@ func (db *DB) Metrics() Metrics {
 		FilterStats() (probes, negatives int64)
 	}); ok {
 		m.FilterProbes, m.FilterNegatives = fs.FilterStats()
+	}
+	if fl, ok := db.inner.(interface{ FlowStats() core.FlowStats }); ok {
+		st := fl.FlowStats()
+		m.StallState = int64(st.State)
+		m.StallSlowdowns = st.SlowdownEntries
+		m.StallStops = st.StopEntries
+		m.WritesDelayed = st.DelayedWrites
+		m.WriteDelayNs = st.DelayedNs
+		m.WritesRejected = st.RejectedWrites
 	}
 	return m
 }
@@ -504,6 +559,23 @@ func (s *Session) Put(key, value []byte) error {
 	return err
 }
 
+// PutWithDeadline is Put with a per-call stall deadline (virtual ns),
+// overriding Options.WriteStallDeadline: if the write cannot be admitted
+// before the deadline it fails with ErrStalled and is fully absent. 0 waits
+// indefinitely. CacheKV-family engines only.
+func (s *Session) PutWithDeadline(key, value []byte, deadlineNs int64) error {
+	e, ok := s.db.inner.(interface {
+		PutWithDeadline(*hw.Thread, []byte, []byte, int64) error
+	})
+	if !ok {
+		return fmt.Errorf("cachekv: engine %s does not support write deadlines", s.db.EngineName())
+	}
+	sp := s.db.col.StartOp(s.th, obs.OpPut)
+	err := e.PutWithDeadline(s.th, key, value, deadlineNs)
+	sp.End()
+	return err
+}
+
 // Get returns the freshest value for key, or ErrNotFound.
 func (s *Session) Get(key []byte) ([]byte, error) {
 	sp := s.db.col.StartOp(s.th, obs.OpGet)
@@ -516,6 +588,21 @@ func (s *Session) Get(key []byte) ([]byte, error) {
 func (s *Session) Delete(key []byte) error {
 	sp := s.db.col.StartOp(s.th, obs.OpDelete)
 	err := s.db.inner.Delete(s.th, key)
+	sp.End()
+	return err
+}
+
+// DeleteWithDeadline is Delete with a per-call stall deadline; see
+// PutWithDeadline.
+func (s *Session) DeleteWithDeadline(key []byte, deadlineNs int64) error {
+	e, ok := s.db.inner.(interface {
+		DeleteWithDeadline(*hw.Thread, []byte, int64) error
+	})
+	if !ok {
+		return fmt.Errorf("cachekv: engine %s does not support write deadlines", s.db.EngineName())
+	}
+	sp := s.db.col.StartOp(s.th, obs.OpDelete)
+	err := e.DeleteWithDeadline(s.th, key, deadlineNs)
 	sp.End()
 	return err
 }
@@ -565,6 +652,23 @@ func (s *Session) Apply(b *Batch) error {
 	}
 	sp := s.db.col.StartOp(s.th, obs.OpBatch)
 	err := e.Apply(s.th, &b.inner)
+	sp.End()
+	return err
+}
+
+// ApplyWithDeadline is Apply with a per-call stall deadline; see
+// PutWithDeadline. A batch that stalls is rejected before any of its entries
+// commit — all-or-nothing holds for cross-shard batches too, whose admission
+// and deadline are checked before the first prepare record is written.
+func (s *Session) ApplyWithDeadline(b *Batch, deadlineNs int64) error {
+	e, ok := s.db.inner.(interface {
+		ApplyWithDeadline(*hw.Thread, *core.Batch, int64) error
+	})
+	if !ok {
+		return fmt.Errorf("cachekv: engine %s does not support write deadlines", s.db.EngineName())
+	}
+	sp := s.db.col.StartOp(s.th, obs.OpBatch)
+	err := e.ApplyWithDeadline(s.th, &b.inner, deadlineNs)
 	sp.End()
 	return err
 }

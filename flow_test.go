@@ -1,0 +1,184 @@
+package cachekv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cachekv/internal/core"
+)
+
+func TestWriteStallDeadlineValidation(t *testing.T) {
+	if _, err := Open(Options{PMemMB: 1024, WriteStallDeadline: -1}); err == nil {
+		t.Fatal("negative WriteStallDeadline accepted")
+	}
+}
+
+func TestSessionDeadlineMethods(t *testing.T) {
+	db, err := Open(Options{PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+
+	// With the engine healthy every deadline call succeeds like its
+	// deadline-less twin.
+	if err := s.PutWithDeadline([]byte("k"), []byte("v"), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	var b Batch
+	b.Put([]byte("bk"), []byte("bv"))
+	if err := s.ApplyWithDeadline(&b, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteWithDeadline([]byte("k"), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k")); err != ErrNotFound {
+		t.Fatalf("deleted key: %v", err)
+	}
+
+	// Under a forced Stop the same calls fail fast with ErrStalled.
+	e := db.inner.(*core.Engine)
+	e.DebugForceFlowState(s.VirtualNanos(), core.FlowStop)
+	if err := s.PutWithDeadline([]byte("k2"), []byte("v"), 1_000); !errors.Is(err, ErrStalled) {
+		t.Fatalf("PutWithDeadline under Stop: %v", err)
+	}
+	if err := s.DeleteWithDeadline([]byte("bk"), 1_000); !errors.Is(err, ErrStalled) {
+		t.Fatalf("DeleteWithDeadline under Stop: %v", err)
+	}
+	b.Reset()
+	b.Put([]byte("k3"), []byte("v"))
+	if err := s.ApplyWithDeadline(&b, 1_000); !errors.Is(err, ErrStalled) {
+		t.Fatalf("ApplyWithDeadline under Stop: %v", err)
+	}
+	e.DebugUnforceFlowState()
+
+	m := db.Metrics()
+	if m.WritesRejected != 3 {
+		t.Fatalf("WritesRejected = %d, want 3", m.WritesRejected)
+	}
+	if m.StallState != int64(core.FlowStop) {
+		t.Fatalf("StallState = %d, want %d (unforce leaves the state until a lifecycle event)", m.StallState, core.FlowStop)
+	}
+	if m.StallStops == 0 {
+		t.Fatalf("StallStops = %d, want > 0", m.StallStops)
+	}
+}
+
+func TestSessionDeadlineUnsupportedEngine(t *testing.T) {
+	db, err := Open(Options{Engine: EngineNoveLSM, PMemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	if err := s.PutWithDeadline([]byte("k"), []byte("v"), 1_000); err == nil {
+		t.Fatal("PutWithDeadline on novelsm succeeded")
+	}
+	if err := s.DeleteWithDeadline([]byte("k"), 1_000); err == nil {
+		t.Fatal("DeleteWithDeadline on novelsm succeeded")
+	}
+	var b Batch
+	b.Put([]byte("k"), []byte("v"))
+	if err := s.ApplyWithDeadline(&b, 1_000); err == nil {
+		t.Fatal("ApplyWithDeadline on novelsm succeeded")
+	}
+}
+
+// TestMetricsSubFlowFields checks the interval-delta contract by reflection:
+// every int64 counter field subtracts, while StallState (a gauge, like the
+// ratio fields) is carried from the newer snapshot.
+func TestMetricsSubFlowFields(t *testing.T) {
+	gauges := map[string]bool{
+		"WriteHitRatio":      true,
+		"WriteAmplification": true,
+		"BlockCacheHitRatio": true,
+		"StallState":         true,
+	}
+	var cur, prev Metrics
+	cv := reflect.ValueOf(&cur).Elem()
+	pv := reflect.ValueOf(&prev).Elem()
+	tt := cv.Type()
+	for i := 0; i < tt.NumField(); i++ {
+		if tt.Field(i).Type.Kind() != reflect.Int64 {
+			continue
+		}
+		cv.Field(i).SetInt(int64(100 + i))
+		pv.Field(i).SetInt(int64(10 + i))
+	}
+	d := cur.Sub(prev)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < tt.NumField(); i++ {
+		f := tt.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		got := dv.Field(i).Int()
+		want := int64(90) // 100+i - (10+i)
+		if gauges[f.Name] {
+			want = int64(100 + i) // carried, not subtracted
+		}
+		if got != want {
+			t.Fatalf("Sub field %s = %d, want %d", f.Name, got, want)
+		}
+	}
+
+	// The snapshot survives a JSON round-trip unchanged (report files embed
+	// these structs verbatim).
+	enc, err := json.Marshal(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cur {
+		t.Fatalf("JSON round-trip mutated Metrics:\n got %+v\nwant %+v", back, cur)
+	}
+}
+
+// TestRegistryFlowMetrics asserts the flow-control surface is published by
+// DB.Registry for both the classic and the sharded engine.
+func TestRegistryFlowMetrics(t *testing.T) {
+	names := []string{
+		"flow_state",
+		"flow_slowdown_entries",
+		"flow_stop_entries",
+		"flow_writes_delayed",
+		"flow_delay_ns",
+		"flow_writes_rejected",
+		"flow_stop_waits",
+		"flow_stop_wait_ns",
+		"flow_dwell_ok_ns",
+		"flow_dwell_slowdown_ns",
+		"flow_dwell_stop_ns",
+	}
+	for _, shards := range []int{1, 4} {
+		db, err := Open(Options{PMemMB: 1024, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := db.Registry().Gather()
+		for _, n := range names {
+			if _, ok := snap.Get(n); !ok {
+				t.Fatalf("shards=%d: metric %q missing from registry", shards, n)
+			}
+		}
+		if shards > 1 {
+			for k := 0; k < shards; k++ {
+				if _, ok := snap.Get(fmt.Sprintf("shard%d_flow_state", k)); !ok {
+					t.Fatalf("per-shard gauge shard%d_flow_state missing", k)
+				}
+			}
+		}
+		db.Close()
+	}
+}

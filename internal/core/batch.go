@@ -48,8 +48,22 @@ func (b *Batch) Reset() { b.ops = b.ops[:0] }
 // the batch size and the tail past every entry. A batch larger than a
 // sub-MemTable's capacity is rejected.
 func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
+	return e.ApplyWithDeadline(th, b, e.opts.WriteStallDeadline)
+}
+
+// ApplyWithDeadline is Apply under a write deadline (see PutWithDeadline).
+// Admission and the deadline are checked before any state changes, so a
+// rejected batch is fully absent.
+func (e *Engine) ApplyWithDeadline(th *hw.Thread, b *Batch, deadlineNs int64) error {
 	if len(b.ops) == 0 {
 		return nil
+	}
+	if err := e.err(); err != nil {
+		return err
+	}
+	deadlineV := absDeadline(th, deadlineNs)
+	if err := e.flow.admitWrite(th, deadlineV); err != nil {
+		return err
 	}
 	// Consecutive sequence numbers for a directly applied batch.
 	firstSeq := e.seq.Add(uint64(len(b.ops))) - uint64(len(b.ops)) + 1
@@ -57,7 +71,7 @@ func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
 	for i := range seqs {
 		seqs[i] = firstSeq + uint64(i)
 	}
-	return e.commitOps(th, b.ops, seqs)
+	return e.commitOps(th, b.ops, seqs, deadlineV)
 }
 
 // commitOps appends ops (with pre-assigned sequence numbers seqs, one per op)
@@ -67,7 +81,12 @@ func (e *Engine) Apply(th *hw.Thread, b *Batch) error {
 // explicit because group commit concatenates requests whose seqs were drawn
 // from the shared counter at arrival time and recovery replays the seqs the
 // prepare record recorded.
-func (e *Engine) commitOps(th *hw.Thread, ops []batchOp, seqs []uint64) error {
+//
+// deadlineV bounds the slot wait (0 = none). Callers that must not fail —
+// two-phase apply past its commit marker, recovery replay — pass 0; a
+// deadline expiry surfaces before the commit CAS, so a stalled batch is
+// fully absent.
+func (e *Engine) commitOps(th *hw.Thread, ops []batchOp, seqs []uint64, deadlineV int64) error {
 	if err := e.err(); err != nil {
 		return err
 	}
@@ -90,9 +109,13 @@ func (e *Engine) commitOps(th *hw.Thread, ops []batchOp, seqs []uint64) error {
 	for {
 		s := e.pool.slotFor(core)
 		if s == nil {
+			var aerr error
 			th.InPhase(hw.PhaseOther, func() {
-				s = e.pool.acquire(th, core, seqs[0])
+				s, aerr = e.pool.acquire(th, core, seqs[0], deadlineV)
 			})
+			if aerr != nil {
+				return aerr // ErrStalled before any append: nothing committed
+			}
 			if s == nil {
 				if err := e.err(); err != nil {
 					return err
@@ -112,11 +135,7 @@ func (e *Engine) commitOps(th *hw.Thread, ops []batchOp, seqs []uint64) error {
 		}
 		if tail+need > s.dataCap() {
 			if sealed := e.pool.sealForCore(th, core); sealed != nil {
-				cnt, _, stail := unpackHdr(sealed.hdr.Load())
-				e.trace.Emit(th.Clock.Now(), "memtable_seal", "shard", e.opts.Shard,
-					"slot", sealed.idx, "entries", cnt, "bytes", stail)
-				e.pendingFlushes.Add(1)
-				e.flushCh <- sealed
+				e.enqueueSealed(th, sealed)
 			}
 			continue
 		}

@@ -62,6 +62,18 @@ type Options struct {
 	RegionPrefix    string
 	SharedSeq       *atomic.Uint64
 	SharedPartition *cache.PartitionID
+
+	// Overload protection. WriteStallDeadline bounds how long a write may
+	// wait (virtual ns) for admission, a free sub-MemTable slot, or — via
+	// backpressure — ImmZone space before failing with ErrStalled; 0 keeps
+	// the legacy wait-forever contract. Per-op deadlines via
+	// PutWithDeadline/ApplyWithDeadline override it. DisableFlowControl
+	// turns the state machine off entirely (baseline measurements). Flow
+	// tunes the pressure thresholds; zero fields take defaults derived from
+	// the zone and LSM budgets.
+	WriteStallDeadline int64
+	DisableFlowControl bool
+	Flow               FlowThresholds
 }
 
 // regionName returns the engine's name for one of its PMem regions,
@@ -172,9 +184,13 @@ type Engine struct {
 	spillServer    *sim.ServerPool
 	indexServer    *sim.ServerPool
 	pendingFlushes atomic.Int64
-	flushWG        sync.WaitGroup
-	indexWG        sync.WaitGroup
-	spillWG        sync.WaitGroup
+	// pendingFlushBytes tracks sealed-but-unflushed slot payload bytes; with
+	// ImmZone occupancy it forms the backlog signal the flow controller polls.
+	pendingFlushBytes atomic.Int64
+	flow              *flowControl
+	flushWG           sync.WaitGroup
+	indexWG           sync.WaitGroup
+	spillWG           sync.WaitGroup
 
 	spillMu    sync.RWMutex
 	spillState struct {
@@ -270,6 +286,16 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	e.bumpSeq(e.tree.LastSeq())
 	e.maxSpilledSeq.Store(e.tree.LastSeq())
 
+	e.flow = newFlowControl(opts, opts.DisableFlowControl,
+		e.tree.L0Pressure,
+		func() uint64 {
+			pending := e.pendingFlushBytes.Load()
+			if pending < 0 {
+				pending = 0
+			}
+			return e.immArena.Used() + uint64(pending)
+		})
+
 	if recovered {
 		e.trace.Emit(th.Clock.Now(), "recovery_start", "engine", e.Name(), "shard", opts.Shard)
 		var rerr error
@@ -293,13 +319,16 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	}
 
 	e.pool.sealFn = func(s *slot) {
+		_, _, stail := unpackHdr(s.hdr.Load())
 		e.pendingFlushes.Add(1)
+		e.pendingFlushBytes.Add(int64(stail))
 		select {
 		case e.flushCh <- s:
 		default:
 			// The channel is sized far beyond the slot count; dropping here
 			// would leak an immutable slot, so treat overflow as a bug.
 			e.pendingFlushes.Add(-1)
+			e.pendingFlushBytes.Add(-int64(stail))
 			e.fail(fmt.Errorf("cachekv: flush queue overflow"))
 		}
 	}
@@ -312,6 +341,8 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	go e.spillLoop()
 	e.indexWG.Add(1)
 	go e.indexLoop()
+	// A recovered engine may reopen already under pressure (crash mid-stall).
+	e.flow.recompute(th.Clock.Now(), "open")
 	return e, nil
 }
 
@@ -325,6 +356,7 @@ func (e *Engine) fail(err error) {
 	if e.pool != nil {
 		e.pool.aborted.Store(true)
 	}
+	e.flow.abort()
 	if e.spillState.cond != nil {
 		e.spillState.mu.Lock()
 		e.spillState.cond.Broadcast()
@@ -383,7 +415,36 @@ func (e *Engine) RegisterObs(r *obs.Registry) {
 	r.Counter("engine_compactions", func() int64 { return e.stats.Compactions.Load() })
 	r.Counter("engine_read_syncs", func() int64 { return e.stats.ReadSyncs.Load() })
 	r.Counter("engine_pool_slots", func() int64 { return int64(e.pool.numSlots()) })
+	e.flow.registerObs(r, "")
 }
+
+// FlowState reports the current write-admission state.
+func (e *Engine) FlowState() FlowState { return e.flow.current() }
+
+// FlowStats reports the flow-control counter snapshot.
+func (e *Engine) FlowStats() FlowStats { return e.flow.snapshot() }
+
+// FlowSignals reports the raw pressure signals the flow controller polls:
+// L0 file count and bytes, and the backlog (ImmZone occupancy plus
+// sealed-but-unflushed slot bytes). Harnesses use it to assert the bounded
+// memory footprint oracle.
+func (e *Engine) FlowSignals() (l0Files int, l0Bytes int64, backlogBytes uint64) {
+	files, bytes := e.tree.L0Pressure()
+	pending := e.pendingFlushBytes.Load()
+	if pending < 0 {
+		pending = 0
+	}
+	return files, bytes, e.immArena.Used() + uint64(pending)
+}
+
+// DebugForceFlowState pins the flow-control state machine to state s at
+// virtual time at, suppressing signal-driven transitions until
+// DebugUnforceFlowState. Deterministic crash harnesses script stall phases
+// with it; production code never calls it.
+func (e *Engine) DebugForceFlowState(at int64, s FlowState) { e.flow.force(at, s) }
+
+// DebugUnforceFlowState releases a DebugForceFlowState pin.
+func (e *Engine) DebugUnforceFlowState() { e.flow.forceOff() }
 
 // FilterStats reports memory-component negative-filter probes and rejections.
 func (e *Engine) FilterStats() (probes, negatives int64) {
@@ -418,19 +479,58 @@ func align8(n uint64) uint64 { return (n + 7) &^ 7 }
 // Put implements kvstore.DB: append to the core's sub-MemTable in the
 // persistent cache and commit with one CAS on the packed header.
 func (e *Engine) Put(th *hw.Thread, key, value []byte) error {
-	return e.write(th, key, value, util.KindValue)
+	return e.PutWithDeadline(th, key, value, e.opts.WriteStallDeadline)
+}
+
+// PutWithDeadline is Put bounded by deadlineNs virtual ns: if admission, a
+// slot wait, or ImmZone backpressure would stall past the deadline the write
+// fails with ErrStalled instead of blocking. deadlineNs <= 0 means no
+// deadline (legacy blocking).
+func (e *Engine) PutWithDeadline(th *hw.Thread, key, value []byte, deadlineNs int64) error {
+	if err := e.err(); err != nil {
+		return err
+	}
+	deadlineV := absDeadline(th, deadlineNs)
+	if err := e.flow.admitWrite(th, deadlineV); err != nil {
+		return err
+	}
+	return e.write(th, key, value, util.KindValue, deadlineV)
 }
 
 // Delete implements kvstore.DB (a tombstone append).
 func (e *Engine) Delete(th *hw.Thread, key []byte) error {
-	if err := e.write(th, key, nil, util.KindDelete); err != nil {
+	return e.DeleteWithDeadline(th, key, e.opts.WriteStallDeadline)
+}
+
+// DeleteWithDeadline is Delete under a write deadline (see PutWithDeadline).
+func (e *Engine) DeleteWithDeadline(th *hw.Thread, key []byte, deadlineNs int64) error {
+	if err := e.err(); err != nil {
+		return err
+	}
+	deadlineV := absDeadline(th, deadlineNs)
+	if err := e.flow.admitWrite(th, deadlineV); err != nil {
+		return err
+	}
+	if err := e.write(th, key, nil, util.KindDelete, deadlineV); err != nil {
 		return err
 	}
 	e.stats.Deletes.Add(1)
 	return nil
 }
 
-func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind) error {
+// enqueueSealed queues a sealed slot for its copy-based flush, maintaining
+// the backlog accounting and pressure state the flow controller reads.
+func (e *Engine) enqueueSealed(th *hw.Thread, sealed *slot) {
+	cnt, _, stail := unpackHdr(sealed.hdr.Load())
+	e.trace.Emit(th.Clock.Now(), "memtable_seal", "shard", e.opts.Shard,
+		"slot", sealed.idx, "entries", cnt, "bytes", stail)
+	e.pendingFlushes.Add(1)
+	e.pendingFlushBytes.Add(int64(stail))
+	e.flushCh <- sealed
+	e.flow.recompute(th.Clock.Now(), "memtable_seal")
+}
+
+func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind, deadlineV int64) error {
 	if err := e.err(); err != nil {
 		return err
 	}
@@ -446,9 +546,13 @@ func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind) er
 	for {
 		s := e.pool.slotFor(core)
 		if s == nil {
+			var aerr error
 			th.InPhase(hw.PhaseOther, func() {
-				s = e.pool.acquire(th, core, seq)
+				s, aerr = e.pool.acquire(th, core, seq, deadlineV)
 			})
+			if aerr != nil {
+				return aerr // ErrStalled: the slot wait overran the deadline
+			}
 			if s == nil {
 				// The pool aborted: the engine failed while we waited.
 				if err := e.err(); err != nil {
@@ -467,11 +571,7 @@ func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind) er
 		if tail+need > s.dataCap() {
 			// Full: seal, queue the copy-based flush, grab a fresh one.
 			if sealed := e.pool.sealForCore(th, core); sealed != nil {
-				cnt, _, stail := unpackHdr(sealed.hdr.Load())
-				e.trace.Emit(th.Clock.Now(), "memtable_seal", "shard", e.opts.Shard,
-					"slot", sealed.idx, "entries", cnt, "bytes", stail)
-				e.pendingFlushes.Add(1)
-				e.flushCh <- sealed
+				e.enqueueSealed(th, sealed)
 			}
 			continue
 		}
@@ -596,7 +696,11 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 					// The global list stores absolute ImmZone addresses; bound
 					// the fetch by the zone's remaining extent.
 					if zone := e.immArena.Region(); addr < zone.End() {
-						if _, val, okF := e.fetchEntry(th, addr, 0, zone.End()-addr, cache.DefaultPartition); okF {
+						// The zone may have been spilled and refilled under this
+						// global-list snapshot; only trust the fetch if the entry
+						// still carries the key and sequence the node recorded.
+						if ik, val, okF := e.fetchEntry(th, addr, 0, zone.End()-addr, cache.DefaultPartition); okF &&
+							string(ik.UserKey()) == string(key) && ik.Seq() == gseq {
 							res.Consider(val, gseq, kind)
 						}
 					}
@@ -707,7 +811,9 @@ func (e *Engine) FlushAll(th *hw.Thread) error {
 				e.pool.markFree(th, s, th.Clock.Now())
 				continue
 			}
+			_, _, stail := unpackHdr(s.hdr.Load())
 			e.pendingFlushes.Add(1)
+			e.pendingFlushBytes.Add(int64(stail))
 			e.flushCh <- s
 		}
 	}

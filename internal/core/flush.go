@@ -118,6 +118,7 @@ func (e *Engine) spillLoop() {
 		}
 		e.spillState.cond.Broadcast()
 		e.spillState.mu.Unlock()
+		e.flow.recompute(th.Clock.Now(), "spill_end")
 		// LSM compaction debt is paid after writers are unblocked; its
 		// virtual cost still occupies this background server, delaying
 		// future spills exactly as LevelDB's single compaction thread would.
@@ -131,6 +132,7 @@ func (e *Engine) spillLoop() {
 			e.trace.Emit(th.Clock.Now(), "lsm_compaction", "ns", dur)
 		}
 		e.spillServer.Submit(done, th.Clock.Now()-cstart)
+		e.flow.recompute(th.Clock.Now(), "lsm_compaction")
 	}
 }
 
@@ -143,13 +145,34 @@ func (e *Engine) requestSpill(at int64) {
 }
 
 // waitForSpace blocks (really and virtually) until the ImmZone can hold need
-// more bytes, driving the spill thread as necessary.
-func (e *Engine) waitForSpace(th *hw.Thread, need uint64) {
+// more bytes, driving the spill thread as necessary. deadlineV bounds the
+// wait on the virtual clock: each retry charges a capped exponential backoff
+// step, and once the clock passes the deadline the wait returns ErrStalled so
+// the caller can refresh pressure state instead of hanging forever. Zero
+// keeps the legacy unbounded wait.
+func (e *Engine) waitForSpace(th *hw.Thread, need uint64, deadlineV int64) error {
+	backoff := int64(0)
 	e.spillState.mu.Lock()
 	for e.immArena.Region().Size-e.immArena.Used() < need {
 		if e.bgErr() != nil {
 			e.spillState.mu.Unlock()
-			return
+			return nil
+		}
+		if deadlineV > 0 {
+			if th.Clock.Now() >= deadlineV {
+				e.spillState.mu.Unlock()
+				return ErrStalled
+			}
+			if backoff == 0 {
+				backoff = stallBackoffBaseNs
+			} else if backoff < stallBackoffMaxNs {
+				backoff *= 2
+			}
+			step := backoff
+			if rem := deadlineV - th.Clock.Now(); step > rem {
+				step = rem
+			}
+			th.Clock.Advance(step)
 		}
 		// Request under the state lock: the spill thread's completion
 		// broadcast also takes it, so the request cannot be consumed and
@@ -160,6 +183,7 @@ func (e *Engine) waitForSpace(th *hw.Thread, need uint64) {
 	doneV := e.spillState.doneV
 	e.spillState.mu.Unlock()
 	th.Clock.AdvanceTo(doneV)
+	return nil
 }
 
 // flushOne performs the copy-based flush of one sealed sub-MemTable
@@ -167,9 +191,14 @@ func (e *Engine) waitForSpace(th *hw.Thread, need uint64) {
 // the ImmZone, registration of the resulting sub-ImmMemTable, and release of
 // the slot. If the ImmZone crosses its threshold, it spills to L0.
 func (e *Engine) flushOne(s *slot) {
+	_, _, sealedTail := unpackHdr(s.hdr.Load())
+	finish := func() {
+		e.pendingFlushes.Add(-1)
+		e.pendingFlushBytes.Add(-int64(sealedTail))
+	}
 	if err := e.bgErr(); err != nil {
 		// Crash-stopped: abandon the work, the power failure preempted it.
-		e.pendingFlushes.Add(-1)
+		finish()
 		return
 	}
 	th := e.m.NewThread(0)
@@ -215,11 +244,22 @@ func (e *Engine) flushOne(s *slot) {
 				return
 			}
 			w0 := th.Clock.Now()
-			e.waitForSpace(th, immZoneHdrSize+tail)
+			werr := e.waitForSpace(th, immZoneHdrSize+tail, absDeadline(th, e.opts.WriteStallDeadline))
 			stallNs += th.Clock.Now() - w0
 			if e.bgErr() != nil {
-				e.pendingFlushes.Add(-1)
+				finish()
 				return
+			}
+			if werr != nil {
+				// The ImmZone wait overran the stall deadline. The flusher
+				// cannot drop the sealed data, so it retries in place — but
+				// each bounded round surfaces the stall in the trace and
+				// refreshes the flow-control state, escalating admission to
+				// Slowdown/Stop so the foreground sheds load instead of
+				// piling more seals behind this one.
+				e.trace.Emit(th.Clock.Now(), "flush_stall", "shard", e.opts.Shard,
+					"slot", s.idx, "need", immZoneHdrSize+tail)
+				e.flow.recompute(th.Clock.Now(), "flush_stall")
 			}
 		}
 		// Persistent header first, then the modified-memcpy of the data
@@ -305,7 +345,8 @@ func (e *Engine) flushOne(s *slot) {
 	if e.immArena.Used() > uint64(float64(e.immArena.Region().Size)*e.opts.SpillFraction) {
 		e.requestSpill(th.Clock.Now())
 	}
-	e.pendingFlushes.Add(-1)
+	finish()
+	e.flow.recompute(th.Clock.Now(), "flush_end")
 }
 
 func maxSeqOf(list *skiplist.List) uint64 {
@@ -337,6 +378,7 @@ func (e *Engine) spill(th *hw.Thread) {
 	}
 	e.spillState.cond.Broadcast()
 	e.spillState.mu.Unlock()
+	e.flow.recompute(th.Clock.Now(), "spill_end")
 }
 
 // spillLocked merges every sub-ImmMemTable into L0 SSTables, then resets the

@@ -22,9 +22,18 @@ import (
 // for it; the background index thread pays on its own clock otherwise).
 // Returns the number of entries applied.
 func (e *Engine) syncSlot(th *hw.Thread, s *slot) int {
-	count, _, tail := unpackHdr(s.hdr.Load())
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
+	// The header must be read under the same syncMu section as the list
+	// state: a header loaded before the lock can belong to a previous
+	// incarnation of the slot (sealed, flushed, freed, and re-acquired while
+	// this thread was descheduled). Replaying a stale count/tail against the
+	// new incarnation would index leftover bytes of the old table past the
+	// new commit point — entries the writer then overwrites, leaving the
+	// sub-skiplist pointing one key at another key's bytes — and the inflated
+	// listCount would make the final pre-flush sync stop early, dropping the
+	// table's tail entries from the index.
+	count, _, tail := unpackHdr(s.hdr.Load())
 	if s.list == nil || s.listCount >= count {
 		return 0
 	}
@@ -60,9 +69,9 @@ func (e *Engine) syncSlot(th *hw.Thread, s *slot) int {
 
 // needsSync reports whether the slot's sub-skiplist lags its table counter.
 func needsSync(s *slot) bool {
-	count, _, _ := unpackHdr(s.hdr.Load())
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
+	count, _, _ := unpackHdr(s.hdr.Load())
 	return s.list != nil && s.listCount < count
 }
 
@@ -112,8 +121,12 @@ func (e *Engine) searchList(th *hw.Thread, list *skiplist.List, base, limit uint
 		return nil, 0, 0, false
 	}
 	off := util.Fixed64(it.Value())
-	_, val, okFetch := e.fetchEntry(th, base, off, limit, part)
-	if !okFetch {
+	ik, val, okFetch := e.fetchEntry(th, base, off, limit, part)
+	// The fetched entry must carry the exact internal key the index node
+	// promised: a table recycled under a stale list reference can hold a
+	// boundary-aligned foreign entry at this offset whose CRC is perfectly
+	// valid, and returning its value would serve another key's bytes.
+	if !okFetch || string(ik) != string(found) {
 		return nil, 0, 0, false
 	}
 	return val, found.Seq(), found.Kind(), true
@@ -143,8 +156,10 @@ func (t *tableIter) load() {
 		return
 	}
 	off := util.Fixed64(t.it.Value())
-	_, val, ok := t.e.fetchEntry(t.th, t.base, off, t.limit, t.part)
-	if !ok {
+	ik, val, ok := t.e.fetchEntry(t.th, t.base, off, t.limit, t.part)
+	// Same stale-table defence as searchList: only a fetch that returns the
+	// indexed internal key verbatim is trusted.
+	if !ok || string(ik) != string(t.it.Key()) {
 		return
 	}
 	t.val = val

@@ -283,12 +283,19 @@ func (p *pool) slotFor(core int) *slot {
 // acquire assigns a free sub-MemTable to core, blocking (in both real and
 // virtual time) until one is available. Waiting time is how write stalls
 // surface when the background flush cannot keep up (Exp#5 / Exp#7).
-func (p *pool) acquire(th *hw.Thread, core int, listSeed uint64) *slot {
+//
+// deadlineV bounds the wait on the virtual clock: while no slot frees, each
+// retry advances the clock by a capped exponential backoff step, and once it
+// passes the deadline the call returns ErrStalled instead of blocking on. A
+// zero deadline keeps the legacy wait-forever contract; a nil slot with a nil
+// error means the pool aborted (the caller re-checks the engine error).
+func (p *pool) acquire(th *hw.Thread, core int, listSeed uint64, deadlineV int64) (*slot, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	backoff := int64(0)
 	for {
 		if p.aborted.Load() {
-			return nil
+			return nil, nil
 		}
 		var best *slot
 		for _, s := range p.slotList() {
@@ -301,6 +308,9 @@ func (p *pool) acquire(th *hw.Thread, core int, listSeed uint64) *slot {
 		if best != nil {
 			// Wait out the (virtual) tail of the flush that freed it.
 			if fa := best.freeAt.Load(); fa > th.Clock.Now() {
+				if deadlineV > 0 && fa > deadlineV {
+					return nil, ErrStalled
+				}
 				p.allocWaitNs.Add(fa - th.Clock.Now())
 				th.Clock.AdvanceTo(fa)
 			}
@@ -313,7 +323,7 @@ func (p *pool) acquire(th *hw.Thread, core int, listSeed uint64) *slot {
 			best.owner.Store(int32(core))
 			p.writeHdr(th, best, packHdr(0, stateAllocated, 0))
 			p.coreSlot[core].Store(int32(best.idx))
-			return best
+			return best, nil
 		}
 		// No free sub-MemTable: count the miss and, if the pressure is
 		// sustained, let elasticity split free slots next time around.
@@ -347,6 +357,25 @@ func (p *pool) acquire(th *hw.Thread, core int, listSeed uint64) *slot {
 				p.sealFn(fullest)
 				continue
 			}
+		}
+		if deadlineV > 0 {
+			// Deadline-aware wait: charge a doubling, capped virtual backoff
+			// step per retry so the stalled writer's clock converges on its
+			// deadline, then fail fast instead of blocking indefinitely.
+			if th.Clock.Now() >= deadlineV {
+				return nil, ErrStalled
+			}
+			if backoff == 0 {
+				backoff = stallBackoffBaseNs
+			} else if backoff < stallBackoffMaxNs {
+				backoff *= 2
+			}
+			step := backoff
+			if rem := deadlineV - th.Clock.Now(); step > rem {
+				step = rem
+			}
+			p.allocWaitNs.Add(step)
+			th.Clock.Advance(step)
 		}
 		p.cond.Wait()
 	}

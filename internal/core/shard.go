@@ -134,9 +134,13 @@ type writeReq struct {
 	seqs  []uint64
 	bytes uint64 // rough encoded-size estimate for group byte budgeting
 	at    int64  // caller's virtual clock at submission
-	doneV int64  // group fence's virtual completion time
-	err   error
-	done  chan struct{}
+	// deadlineV is the caller's absolute virtual-time write deadline (0 =
+	// none). The group inherits the laxest member deadline; a member whose
+	// own deadline expires fails alone via the degrade path.
+	deadlineV int64
+	doneV     int64 // group fence's virtual completion time
+	err       error
+	done      chan struct{}
 }
 
 // shardWriter is one shard's group-commit loop: a dedicated goroutine (with
@@ -240,9 +244,50 @@ func (w *shardWriter) commitGroup(group []*writeReq) {
 	}
 	th.Clock.AdvanceTo(start)
 
+	// The group-commit queue is the write path's last unbounded wait: under
+	// sustained overload requests park behind earlier groups for longer than
+	// any in-engine stall. A member whose deadline passed while it queued is
+	// rejected here, before any of its ops reach the commit CAS, so it is
+	// fully absent and its caller observes ErrStalled at exactly its own
+	// deadline instead of an arbitrarily late ack.
+	kept := group[:0]
+	for _, r := range group {
+		if r.deadlineV > 0 && start > r.deadlineV {
+			r.doneV = r.deadlineV
+			r.err = ErrStalled
+			w.eng.flow.rejectedWrites.Add(1)
+			close(r.done)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	group = kept
+	if len(group) == 0 {
+		return
+	}
+
+	// The group's slot wait runs under the laxest member deadline: if any
+	// member carries no deadline the group must not fail on one, and on a
+	// stall the degrade path below retries members individually so only the
+	// writers whose own deadlines expired observe ErrStalled — rejection
+	// happens before the commit CAS, so a failed member is fully absent.
+	groupDeadline := int64(-1)
+	for _, r := range group {
+		if r.deadlineV == 0 {
+			groupDeadline = 0
+			break
+		}
+		if r.deadlineV > groupDeadline {
+			groupDeadline = r.deadlineV
+		}
+	}
+	if groupDeadline < 0 {
+		groupDeadline = 0
+	}
+
 	var err error
 	if len(group) == 1 {
-		err = w.eng.commitOps(th, group[0].ops, group[0].seqs)
+		err = w.eng.commitOps(th, group[0].ops, group[0].seqs, group[0].deadlineV)
 	} else {
 		total := 0
 		for _, r := range group {
@@ -254,10 +299,11 @@ func (w *shardWriter) commitGroup(group []*writeReq) {
 			ops = append(ops, r.ops...)
 			seqs = append(seqs, r.seqs...)
 		}
-		err = w.eng.commitOps(th, ops, seqs)
+		err = w.eng.commitOps(th, ops, seqs, groupDeadline)
 		if err != nil {
-			// Degrade to per-request commits: a capacity error belongs to the
-			// request that overflowed, not to the whole group.
+			// Degrade to per-request commits: a capacity error (or stall)
+			// belongs to the request that overflowed or expired, not to the
+			// whole group.
 			for _, r := range group {
 				w.commitGroup([]*writeReq{r})
 			}
@@ -366,6 +412,17 @@ func OpenSharded(m *hw.Machine, o ShardedOptions, th *hw.Thread) (*Sharded, erro
 		return nil, err
 	}
 	sh.tpc = tpc
+	// Wire the two-phase log occupancy into each shard's flow controller as
+	// its WAL pressure signal: a safety valve above the half-capacity
+	// auto-reset, so runaway cross-shard traffic escalates admission before a
+	// log-full failure.
+	walCap := o.PrepareLogBytes + o.CommitLogBytes
+	for k := range sh.shards {
+		k := k
+		sh.shards[k].flow.setWALSignal(func() uint64 {
+			return tpc.prepBytes[k].Load() + tpc.commitBytes.Load()
+		}, walCap*3/4, walCap*15/16)
+	}
 
 	// Group-commit writers, one per shard, pinned round-robin over the cores.
 	maxBytes := o.Base.SubMemTableBytes / 4
@@ -443,12 +500,13 @@ func (sh *Sharded) Name() string {
 // parks the caller until the group's fence lands. The park is attributed to
 // the lock layer: it is commit-ordering wait, the sharded analogue of the
 // single-writer lock the paper's Figure 5(b) charges there.
-func (sh *Sharded) submitAndWait(th *hw.Thread, idx int, ops []batchOp, seqs []uint64) error {
+func (sh *Sharded) submitAndWait(th *hw.Thread, idx int, ops []batchOp, seqs []uint64, deadlineV int64) error {
 	var bytes uint64
 	for _, op := range ops {
 		bytes += uint64(len(op.key)+len(op.value)) + 24
 	}
-	req := &writeReq{ops: ops, seqs: seqs, bytes: bytes, at: th.Clock.Now(), done: make(chan struct{})}
+	req := &writeReq{ops: ops, seqs: seqs, bytes: bytes, at: th.Clock.Now(),
+		deadlineV: deadlineV, done: make(chan struct{})}
 	if err := sh.writers[idx].submit(req); err != nil {
 		return err
 	}
@@ -459,7 +517,7 @@ func (sh *Sharded) submitAndWait(th *hw.Thread, idx int, ops []batchOp, seqs []u
 	return req.err
 }
 
-func (sh *Sharded) write1(th *hw.Thread, key, value []byte, kind util.ValueKind) error {
+func (sh *Sharded) write1(th *hw.Thread, key, value []byte, kind util.ValueKind, deadlineNs int64) error {
 	if err := sh.err(); err != nil {
 		return err
 	}
@@ -467,19 +525,39 @@ func (sh *Sharded) write1(th *hw.Thread, key, value []byte, kind util.ValueKind)
 	// metadata structure.
 	th.ChargeDRAM(1)
 	idx := sh.ShardOf(key)
+	// Admission runs on the owning shard's flow controller before a sequence
+	// number is drawn or the request reaches the writer, so a rejected write
+	// is fully absent and the group-commit pipeline only carries admitted
+	// work.
+	deadlineV := absDeadline(th, deadlineNs)
+	if err := sh.shards[idx].flow.admitWrite(th, deadlineV); err != nil {
+		return err
+	}
 	seq := sh.seq.Add(1)
 	return sh.submitAndWait(th, idx,
-		[]batchOp{{key: key, value: value, kind: kind}}, []uint64{seq})
+		[]batchOp{{key: key, value: value, kind: kind}}, []uint64{seq}, deadlineV)
 }
 
 // Put implements kvstore.DB.
 func (sh *Sharded) Put(th *hw.Thread, key, value []byte) error {
-	return sh.write1(th, key, value, util.KindValue)
+	return sh.write1(th, key, value, util.KindValue, sh.opts.Base.WriteStallDeadline)
+}
+
+// PutWithDeadline is Put bounded by deadlineNs virtual ns (see
+// Engine.PutWithDeadline): admission, the group-commit slot wait, and
+// ImmZone backpressure all honour the deadline and fail with ErrStalled.
+func (sh *Sharded) PutWithDeadline(th *hw.Thread, key, value []byte, deadlineNs int64) error {
+	return sh.write1(th, key, value, util.KindValue, deadlineNs)
 }
 
 // Delete implements kvstore.DB.
 func (sh *Sharded) Delete(th *hw.Thread, key []byte) error {
-	if err := sh.write1(th, key, nil, util.KindDelete); err != nil {
+	return sh.DeleteWithDeadline(th, key, sh.opts.Base.WriteStallDeadline)
+}
+
+// DeleteWithDeadline is Delete under a write deadline.
+func (sh *Sharded) DeleteWithDeadline(th *hw.Thread, key []byte, deadlineNs int64) error {
+	if err := sh.write1(th, key, nil, util.KindDelete, deadlineNs); err != nil {
 		return err
 	}
 	sh.shards[sh.ShardOf(key)].stats.Deletes.Add(1)
@@ -519,6 +597,16 @@ func (sh *Sharded) Scan(th *hw.Thread, start []byte, limit int, fn func(key, val
 // shard commits exactly like the single-engine path (one CAS); a cross-shard
 // batch goes through the two-phase protocol in twopc.go.
 func (sh *Sharded) Apply(th *hw.Thread, b *Batch) error {
+	return sh.ApplyWithDeadline(th, b, sh.opts.Base.WriteStallDeadline)
+}
+
+// ApplyWithDeadline is Apply under a write deadline. For a cross-shard batch
+// every participant shard must admit the batch before its deadline or the
+// whole batch fails with ErrStalled before any prepare record is written —
+// once the two-phase commit marker lands, the apply runs to completion
+// regardless of the deadline (an in-doubt prepare is never abandoned
+// half-committed).
+func (sh *Sharded) ApplyWithDeadline(th *hw.Thread, b *Batch, deadlineNs int64) error {
 	if err := sh.err(); err != nil {
 		return err
 	}
@@ -526,6 +614,7 @@ func (sh *Sharded) Apply(th *hw.Thread, b *Batch) error {
 		return nil
 	}
 	th.ChargeDRAM(1)
+	deadlineV := absDeadline(th, deadlineNs)
 	// Partition the batch by shard, preserving op order within each shard.
 	n := uint64(len(b.ops))
 	firstSeq := sh.seq.Add(n) - n + 1
@@ -544,7 +633,10 @@ func (sh *Sharded) Apply(th *hw.Thread, b *Batch) error {
 	}
 	if len(byShard) == 1 {
 		k := order[0]
-		return sh.submitAndWait(th, k, byShard[k].ops, byShard[k].seqs)
+		if err := sh.shards[k].flow.admitWrite(th, deadlineV); err != nil {
+			return err
+		}
+		return sh.submitAndWait(th, k, byShard[k].ops, byShard[k].seqs, deadlineV)
 	}
 	portions := make([]*shardPortion, 0, len(byShard))
 	// Deterministic shard order for the prepare/apply sequence.
@@ -553,7 +645,7 @@ func (sh *Sharded) Apply(th *hw.Thread, b *Batch) error {
 			portions = append(portions, p)
 		}
 	}
-	return sh.tpc.commit(th, portions)
+	return sh.tpc.commit(th, portions, deadlineV)
 }
 
 // FlushAll implements kvstore.DB: flush every shard's pipeline.
@@ -663,6 +755,27 @@ func (sh *Sharded) RegisterObs(r *obs.Registry) {
 	})
 	r.Counter("engine_shards", func() int64 { return int64(len(sh.shards)) })
 
+	flowSum := func(f func(FlowStats) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, e := range sh.shards {
+				t += f(e.flow.snapshot())
+			}
+			return t
+		}
+	}
+	r.Gauge("flow_state", func() float64 { return float64(sh.FlowState()) })
+	r.Counter("flow_slowdown_entries", flowSum(func(s FlowStats) int64 { return s.SlowdownEntries }))
+	r.Counter("flow_stop_entries", flowSum(func(s FlowStats) int64 { return s.StopEntries }))
+	r.Counter("flow_writes_delayed", flowSum(func(s FlowStats) int64 { return s.DelayedWrites }))
+	r.Counter("flow_delay_ns", flowSum(func(s FlowStats) int64 { return s.DelayedNs }))
+	r.Counter("flow_writes_rejected", flowSum(func(s FlowStats) int64 { return s.RejectedWrites }))
+	r.Counter("flow_stop_waits", flowSum(func(s FlowStats) int64 { return s.StopWaits }))
+	r.Counter("flow_stop_wait_ns", flowSum(func(s FlowStats) int64 { return s.StopWaitNs }))
+	r.Counter("flow_dwell_ok_ns", flowSum(func(s FlowStats) int64 { return s.DwellOKNs }))
+	r.Counter("flow_dwell_slowdown_ns", flowSum(func(s FlowStats) int64 { return s.DwellSlowdownNs }))
+	r.Counter("flow_dwell_stop_ns", flowSum(func(s FlowStats) int64 { return s.DwellStopNs }))
+
 	r.Counter("group_commits", func() int64 { return sh.stats.groups.Load() })
 	r.Counter("group_commit_ops", func() int64 { return sh.stats.groupedOps.Load() })
 	r.Counter("cross_shard_batches", func() int64 { return sh.stats.crossBatch.Load() })
@@ -678,6 +791,53 @@ func (sh *Sharded) RegisterObs(r *obs.Registry) {
 		r.Counter(fmt.Sprintf("shard%d_engine_gets", k), func() int64 { return e.stats.Gets.Load() })
 		r.Counter(fmt.Sprintf("shard%d_engine_flushes", k), func() int64 { return e.stats.Flushes.Load() })
 		r.Counter(fmt.Sprintf("shard%d_group_commits", k), func() int64 { return sh.perShardGroups[k].Load() })
+		r.Gauge(fmt.Sprintf("shard%d_flow_state", k), func() float64 { return float64(e.flow.current()) })
+	}
+}
+
+// FlowState reports the most severe shard's write-admission state.
+func (sh *Sharded) FlowState() FlowState {
+	s := FlowOK
+	for _, e := range sh.shards {
+		if cur := e.flow.current(); cur > s {
+			s = cur
+		}
+	}
+	return s
+}
+
+// FlowStats aggregates the shards' flow-control counters (State is the most
+// severe shard's).
+func (sh *Sharded) FlowStats() FlowStats {
+	var t FlowStats
+	for _, e := range sh.shards {
+		t = t.Add(e.flow.snapshot())
+	}
+	return t
+}
+
+// FlowSignals sums the shards' raw pressure signals (see Engine.FlowSignals):
+// total L0 files/bytes and flush-backlog bytes across the deployment.
+func (sh *Sharded) FlowSignals() (l0Files int, l0Bytes int64, backlogBytes uint64) {
+	for _, e := range sh.shards {
+		f, b, bk := e.FlowSignals()
+		l0Files += f
+		l0Bytes += b
+		backlogBytes += bk
+	}
+	return l0Files, l0Bytes, backlogBytes
+}
+
+// DebugForceFlowState pins shard k's flow state (harness hook; see
+// Engine.DebugForceFlowState).
+func (sh *Sharded) DebugForceFlowState(at int64, k int, s FlowState) {
+	sh.shards[k].flow.force(at, s)
+}
+
+// DebugUnforceFlowState releases every shard's force pin.
+func (sh *Sharded) DebugUnforceFlowState() {
+	for _, e := range sh.shards {
+		e.flow.forceOff()
 	}
 }
 

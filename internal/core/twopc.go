@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cachekv/internal/hw"
 	"cachekv/internal/util"
@@ -68,6 +69,12 @@ type twoPC struct {
 	nextID   uint64
 	inflight int // committed batches whose portions are still being applied
 	aborted  bool
+
+	// Lock-free mirrors of the log offsets, updated under t.mu after every
+	// append/reset: the per-shard flow controllers read them as the WAL
+	// pressure signal without contending on t.mu.
+	prepBytes   []atomic.Uint64
+	commitBytes atomic.Uint64
 }
 
 func (sh *Sharded) prepareRegionName(k int) string {
@@ -111,6 +118,7 @@ func openTwoPC(sh *Sharded, th *hw.Thread) (*twoPC, error) {
 	for _, rg := range t.prepRgs {
 		t.prepare = append(t.prepare, wal.NewWriter(m, rg, th))
 	}
+	t.prepBytes = make([]atomic.Uint64, len(t.prepare))
 	return t, nil
 }
 
@@ -155,7 +163,9 @@ func (t *twoPC) replay(th *hw.Thread) error {
 					}
 				}
 				replayed++
-				return sh.shards[k].commitOps(th, p.ops, p.seqs)
+				// Replay must complete regardless of overload state: no
+				// admission, no deadline (the batch already committed).
+				return sh.shards[k].commitOps(th, p.ops, p.seqs, 0)
 			})
 			if rerr != nil && err == nil {
 				err = rerr
@@ -271,8 +281,10 @@ func (t *twoPC) maybeResetLocked(th *hw.Thread) {
 		return
 	}
 	t.commitW.Reset(th)
-	for _, w := range t.prepare {
+	t.commitBytes.Store(t.commitW.Offset())
+	for k, w := range t.prepare {
 		w.Reset(th)
+		t.prepBytes[k].Store(w.Offset())
 	}
 }
 
@@ -290,7 +302,13 @@ func (t *twoPC) abort() {
 // shard's group-commit writer. The caller's thread performs all log appends
 // under t.mu, so the persistence-op stream is deterministic for a
 // single-threaded workload (crashsweep relies on this).
-func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion) error {
+//
+// deadlineV (0 = none) is enforced strictly BEFORE the first prepare record:
+// every participant shard must admit the batch, and the deadline is
+// re-checked after any log-reset wait. Once the commit marker's fence lands
+// the batch is committed and the apply phase runs without a deadline — an
+// in-doubt prepare is never abandoned half-committed.
+func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion, deadlineV int64) error {
 	// Capacity pre-check against the smallest slot elasticity can produce:
 	// a portion that cannot replay into a minimum-size sub-MemTable must be
 	// rejected before any record is written.
@@ -301,6 +319,14 @@ func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion) error {
 	}
 
 	sh := t.sh
+	// Admission on every participant shard, before any durable state: one
+	// overloaded participant rejects the whole batch with nothing to undo.
+	for _, p := range portions {
+		if err := sh.shards[p.shard].flow.admitWrite(th, deadlineV); err != nil {
+			return err
+		}
+	}
+
 	t.mu.Lock()
 	if t.aborted {
 		t.mu.Unlock()
@@ -315,6 +341,13 @@ func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion) error {
 		t.mu.Unlock()
 		return errEngineCrashed
 	}
+	if deadlineV > 0 && th.Clock.Now() >= deadlineV {
+		// The reset wait (or earlier admission delays) consumed the deadline;
+		// still nothing written, so the batch can fail cleanly.
+		t.mu.Unlock()
+		sh.shards[portions[0].shard].flow.rejectedWrites.Add(1)
+		return ErrStalled
+	}
 	id := t.nextID
 	t.nextID++
 	var logErr error
@@ -324,6 +357,7 @@ func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion) error {
 				logErr = err
 				return
 			}
+			t.prepBytes[p.shard].Store(t.prepare[p.shard].Offset())
 		}
 		// Fence 1: every participant's prepare record is durable.
 		th.Clock.Advance(sh.m.Costs.Fence)
@@ -331,6 +365,7 @@ func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion) error {
 			logErr = err
 			return
 		}
+		t.commitBytes.Store(t.commitW.Offset())
 		// Fence 2: the marker is durable — the batch's commit point.
 		th.Clock.Advance(sh.m.Costs.Fence)
 	})
@@ -353,6 +388,8 @@ func (t *twoPC) commit(th *hw.Thread, portions []*shardPortion) error {
 			for _, op := range p.ops {
 				bytes += uint64(len(op.key)+len(op.value)) + 24
 			}
+			// deadlineV stays zero: the commit marker already landed, so the
+			// apply must run to completion however stalled the shard is.
 			req := &writeReq{ops: p.ops, seqs: p.seqs, bytes: bytes, at: at, done: make(chan struct{})}
 			if err := sh.writers[p.shard].submit(req); err != nil {
 				if applyErr == nil {

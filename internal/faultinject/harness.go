@@ -234,7 +234,9 @@ func RunScheduleTraced(spec EngineSpec, domain cache.Domain, wl *Workload, crash
 			}
 		}()
 		res.Violations, res.Recovered = checkOracle(db2, th2, wl, res.Inflight, durable)
-		if fs, ok := db2.(interface{ FilterStats() (probes, negatives int64) }); ok {
+		if fs, ok := db2.(interface {
+			FilterStats() (probes, negatives int64)
+		}); ok {
 			res.FilterProbes, res.FilterNegatives = fs.FilterStats()
 		}
 		_ = db2.Close(th2)

@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"testing"
+
+	"cachekv/internal/hw/cache"
+)
+
+// TestCrashSweepStall crashes the sharded engine at schedule points spread
+// across a scripted overload episode — healthy, Slowdown (token-delayed
+// admissions), Stop (rejections, including a cross-shard batch with a stopped
+// participant), recovered — and holds every recovery to the stall oracle:
+// rejected writes fully absent, acked writes durable (eADR), batches
+// all-or-nothing, engine back in the OK state.
+func TestCrashSweepStall(t *testing.T) {
+	spec := shardedSpec(shardedEngineName, crossShardShards)
+	wl := NewStallWorkload(42, 3, crossShardShards)
+
+	for _, domain := range []cache.Domain{cache.EADR, cache.ADR} {
+		domain := domain
+		t.Run(domain.String(), func(t *testing.T) {
+			total, hash, err := CountStallEvents(spec, domain, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total == 0 {
+				t.Fatal("workload produced no persistence events")
+			}
+			total2, hash2, err := CountStallEvents(spec, domain, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total2 != total || hash2 != hash {
+				t.Fatalf("event stream not deterministic: %d/%x vs %d/%x",
+					total, hash, total2, hash2)
+			}
+
+			// A no-crash run must complete and satisfy the oracle end to end.
+			if r := RunStallSchedule(spec, domain, wl, total+1, FaultNone); r.Failed() {
+				t.Fatalf("complete run: %v", r.Err())
+			}
+
+			points := 24
+			if testing.Short() {
+				points = 8
+			}
+			step := total / int64(points)
+			if step < 1 {
+				step = 1
+			}
+			for crashAt := int64(1); crashAt <= total; crashAt += step {
+				r := RunStallSchedule(spec, domain, wl, crashAt, FaultNone)
+				if !r.Frozen {
+					t.Errorf("crashAt=%d: crash point inside the stream was never reached", crashAt)
+				}
+				if r.Failed() {
+					t.Errorf("%v", r.Err())
+				}
+			}
+		})
+	}
+}

@@ -218,6 +218,18 @@ func (t *Tree) LevelBytes(level int) int64 {
 	return n
 }
 
+// L0Pressure reports the L0 file count and byte total under one lock
+// acquisition — the storage-component pressure signal the engine's
+// flow-control state machine polls on every lifecycle event.
+func (t *Tree) L0Pressure() (files int, bytes int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, f := range t.levels[0] {
+		bytes += int64(f.Size)
+	}
+	return len(t.levels[0]), bytes
+}
+
 // GetStats returns a copy of the activity counters.
 func (t *Tree) GetStats() Stats {
 	t.mu.RLock()
