@@ -38,6 +38,7 @@ import (
 	"cachekv/internal/hw"
 	"cachekv/internal/hw/cache"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
 	"cachekv/internal/obs"
 )
 
@@ -113,6 +114,13 @@ type Options struct {
 	// (default 64).
 	GroupCommitMaxOps int
 
+	// CompactionWorkers > 0 moves LSM compaction off the spill path onto a
+	// background scheduler with that many worker threads picking jobs by
+	// priority; disjoint-key-range jobs on the same level run concurrently.
+	// 0 (the default) keeps the legacy inline compaction after each spill.
+	// CacheKV-family engines only.
+	CompactionWorkers int
+
 	// WriteStallDeadline bounds how long a write may wait for admission when
 	// the engine is overloaded (flow control in Slowdown/Stop, a full
 	// sub-MemTable pool, a saturated ImmZone), in virtual nanoseconds.
@@ -168,6 +176,7 @@ func (o Options) validate() error {
 		{"BaseLevelMB", o.BaseLevelMB},
 		{"Shards", o.Shards},
 		{"GroupCommitMaxOps", o.GroupCommitMaxOps},
+		{"CompactionWorkers", o.CompactionWorkers},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("cachekv: Options.%s must not be negative (got %d); use 0 for the default", f.name, f.v)
@@ -299,6 +308,7 @@ func openEngine(m *hw.Machine, opts Options, th *hw.Thread, trace *obs.Trace) (k
 		o.Trace = trace
 		o.WriteStallDeadline = opts.WriteStallDeadline
 		o.DisableFlowControl = opts.DisableFlowControl
+		o.CompactionWorkers = opts.CompactionWorkers
 		if opts.Shards > 1 {
 			return core.OpenSharded(m, core.ShardedOptions{
 				Shards:            opts.Shards,
@@ -607,6 +617,67 @@ func (s *Session) DeleteWithDeadline(key []byte, deadlineNs int64) error {
 	return err
 }
 
+// DeleteRange deletes every key in [start, end) by writing a single range
+// tombstone — O(1) in the number of keys covered. A start >= end range is an
+// empty no-op. On a sharded store the tombstone commits to every shard
+// atomically via the two-phase protocol. CacheKV-family engines only.
+func (s *Session) DeleteRange(start, end []byte) error {
+	e, ok := s.db.inner.(interface {
+		DeleteRange(*hw.Thread, []byte, []byte) error
+	})
+	if !ok {
+		return fmt.Errorf("cachekv: engine %s does not support DeleteRange", s.db.EngineName())
+	}
+	sp := s.db.col.StartOp(s.th, obs.OpDeleteRange)
+	err := e.DeleteRange(s.th, start, end)
+	sp.End()
+	return err
+}
+
+// DeleteRangeWithDeadline is DeleteRange with a per-call stall deadline; see
+// PutWithDeadline.
+func (s *Session) DeleteRangeWithDeadline(start, end []byte, deadlineNs int64) error {
+	e, ok := s.db.inner.(interface {
+		DeleteRangeWithDeadline(*hw.Thread, []byte, []byte, int64) error
+	})
+	if !ok {
+		return fmt.Errorf("cachekv: engine %s does not support write deadlines", s.db.EngineName())
+	}
+	sp := s.db.col.StartOp(s.th, obs.OpDeleteRange)
+	err := e.DeleteRangeWithDeadline(s.th, start, end, deadlineNs)
+	sp.End()
+	return err
+}
+
+// IngestEntry is one key/value pair of an Ingest batch.
+type IngestEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Ingest bulk-loads entries — strictly ascending unique keys — as external
+// SSTables installed atomically in the LSM tree, bypassing the memory
+// component entirely. The whole batch becomes the newest version of its keys.
+// On a sharded store entries route to their owning shards; each shard's slice
+// installs atomically, though not atomically across shards. CacheKV-family
+// engines only.
+func (s *Session) Ingest(entries []IngestEntry) error {
+	e, ok := s.db.inner.(interface {
+		Ingest(*hw.Thread, []lsm.IngestEntry) error
+	})
+	if !ok {
+		return fmt.Errorf("cachekv: engine %s does not support Ingest", s.db.EngineName())
+	}
+	conv := make([]lsm.IngestEntry, len(entries))
+	for i, ent := range entries {
+		conv[i] = lsm.IngestEntry{Key: ent.Key, Value: ent.Value}
+	}
+	sp := s.db.col.StartOp(s.th, obs.OpIngest)
+	err := e.Ingest(s.th, conv)
+	sp.End()
+	return err
+}
+
 // Scan visits up to limit live keys >= start in order, stopping early when
 // fn returns false; it reports how many entries were visited.
 func (s *Session) Scan(start []byte, limit int, fn func(key, value []byte) bool) (int, error) {
@@ -626,6 +697,10 @@ func (b *Batch) Put(key, value []byte) { b.inner.Put(key, value) }
 
 // Delete queues a tombstone into the batch.
 func (b *Batch) Delete(key []byte) { b.inner.Delete(key) }
+
+// DeleteRange queues a range tombstone covering [start, end); it commits
+// atomically with the rest of the batch.
+func (b *Batch) DeleteRange(start, end []byte) { b.inner.DeleteRange(start, end) }
 
 // Len reports the queued operation count.
 func (b *Batch) Len() int { return b.inner.Len() }

@@ -170,10 +170,11 @@ func statsCmd(args []string) int {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	engine := fs.String("engine", "cachekv", "engine to exercise")
 	ops := fs.Int("ops", 2000, "smoke workload size")
+	workers := fs.Int("compaction-workers", 0, "background compaction workers (0 = legacy inline compaction)")
 	asJSON := fs.Bool("json", false, "emit the snapshot as JSON (sorted by name)")
 	fs.Parse(args)
 
-	db, err := cachekv.Open(cachekv.Options{PMemMB: 1024, Engine: cachekv.Engine(*engine)})
+	db, err := cachekv.Open(cachekv.Options{PMemMB: 1024, Engine: cachekv.Engine(*engine), CompactionWorkers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -43,18 +43,21 @@ import (
 )
 
 type config struct {
-	Shards       int     `json:"shards"`
-	Threads      int     `json:"threads"`
-	Records      int64   `json:"records"`
-	Ops          int64   `json:"ops"`
-	ValueSize    int     `json:"value_size"`
-	DeadlineNs   int64   `json:"deadline_ns"`
-	EnvelopeNs   int64   `json:"envelope_ns"`
-	SlowMult     int     `json:"slow_mult"`
-	FlushPauseNs int64   `json:"flush_pause_ns"`
-	MemCapBytes  uint64  `json:"mem_cap_bytes"`
-	Divergence   float64 `json:"divergence"`
-	Seed         uint64  `json:"seed"`
+	Shards       int    `json:"shards"`
+	Threads      int    `json:"threads"`
+	Records      int64  `json:"records"`
+	Ops          int64  `json:"ops"`
+	ValueSize    int    `json:"value_size"`
+	DeadlineNs   int64  `json:"deadline_ns"`
+	EnvelopeNs   int64  `json:"envelope_ns"`
+	SlowMult     int    `json:"slow_mult"`
+	FlushPauseNs int64  `json:"flush_pause_ns"`
+	MemCapBytes  uint64 `json:"mem_cap_bytes"`
+	// CompactWorkers > 0 runs the overload under the background compaction
+	// scheduler instead of inline spill-thread compaction.
+	CompactWorkers int     `json:"compact_workers"`
+	Divergence     float64 `json:"divergence"`
+	Seed           uint64  `json:"seed"`
 }
 
 type latSummary struct {
@@ -126,7 +129,7 @@ func slowMachine(c config) *hw.Machine {
 
 // engineOptions shapes a store small enough that the scripted op count
 // genuinely outruns the throttled flush pipeline.
-func engineOptions(disableFlow bool, tr *obs.Trace) core.Options {
+func engineOptions(disableFlow bool, tr *obs.Trace, compactWorkers int) core.Options {
 	o := core.DefaultOptions()
 	o.FSBytes = 256 << 20
 	o.PoolBytes = 4 << 20
@@ -134,6 +137,7 @@ func engineOptions(disableFlow bool, tr *obs.Trace) core.Options {
 	o.ImmZoneBytes = 8 << 20
 	o.FlushThreads = 1
 	o.DisableFlowControl = disableFlow
+	o.CompactionWorkers = compactWorkers
 	o.Trace = tr
 	return o
 }
@@ -143,7 +147,7 @@ func engineOptions(disableFlow bool, tr *obs.Trace) core.Options {
 // tolerates before Stop (4x the compaction trigger per shard, two files of
 // slack each; an L0 file is one flushed sub-MemTable).
 func defaultMemCap(shards int) uint64 {
-	o := engineOptions(false, nil)
+	o := engineOptions(false, nil, 0)
 	trigger := o.LSM.L0CompactionTrigger
 	if trigger <= 0 {
 		trigger = 4
@@ -165,7 +169,7 @@ func runLeg(c config, flowOn bool) (legReport, error) {
 	th0 := m.NewThread(0)
 	db, err := core.OpenSharded(m, core.ShardedOptions{
 		Shards: c.Shards,
-		Base:   engineOptions(!flowOn, tr),
+		Base:   engineOptions(!flowOn, tr, c.CompactWorkers),
 	}, th0)
 	if err != nil {
 		return leg, err
@@ -379,7 +383,7 @@ func runCrashLeg(c config) (*crashReport, error) {
 	cr := &crashReport{StateAtCrash: core.FlowOK.String()}
 	m := slowMachine(c)
 	th := m.NewThread(0)
-	opts := engineOptions(false, nil)
+	opts := engineOptions(false, nil, c.CompactWorkers)
 	open := func(t *hw.Thread) (*core.Sharded, error) {
 		return core.OpenSharded(m, core.ShardedOptions{Shards: c.Shards, Base: opts}, t)
 	}
@@ -575,23 +579,25 @@ func main() {
 	divergence := flag.Float64("divergence", 2, "required baseline/flow p99.9 ratio")
 	baseline := flag.Bool("baseline", true, "also run the no-flow-control baseline leg")
 	crash := flag.Bool("crash", true, "run the crash-mid-stall leg")
+	compactWorkers := flag.Int("compaction-workers", 0, "background compaction workers per shard (0 = legacy inline compaction)")
 	smoke := flag.Bool("smoke", false, "shrink the run for CI")
 	out := flag.String("out", "BENCH_overload.json", "report path")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
 	c := config{
-		Shards:       *shards,
-		Threads:      *threads,
-		Records:      *records,
-		Ops:          *ops,
-		ValueSize:    *valueSize,
-		DeadlineNs:   *deadlineUs * 1000,
-		EnvelopeNs:   *envelopeUs * 1000,
-		SlowMult:     *slowMult,
-		FlushPauseNs: *flushPauseUs * 1000,
-		Divergence:   *divergence,
-		Seed:         *seed,
+		Shards:         *shards,
+		Threads:        *threads,
+		Records:        *records,
+		Ops:            *ops,
+		ValueSize:      *valueSize,
+		DeadlineNs:     *deadlineUs * 1000,
+		EnvelopeNs:     *envelopeUs * 1000,
+		SlowMult:       *slowMult,
+		FlushPauseNs:   *flushPauseUs * 1000,
+		CompactWorkers: *compactWorkers,
+		Divergence:     *divergence,
+		Seed:           *seed,
 	}
 	if *smoke {
 		c.Records = 4000

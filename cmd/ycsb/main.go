@@ -32,6 +32,7 @@ func main() {
 	reportPath := flag.String("report", "", "write a cachekv.obs/v1 JSON report here (enables attribution)")
 	check := flag.Bool("check", false, "verify report invariants; exit 1 on violation (implies attribution)")
 	shards := flag.Int("shards", 0, "CacheKV engine shards (0 or 1 = classic single engine)")
+	compactionWorkers := flag.Int("compaction-workers", 0, "CacheKV background compaction workers (0 = legacy inline compaction)")
 	groupCommit := flag.Int64("group-commit", 0, "group-commit window in virtual ns (0 = default 10µs, negative disables coalescing; Shards > 1 only)")
 	flag.Parse()
 	withObs := *reportPath != "" || *check
@@ -68,6 +69,7 @@ func main() {
 		cfg.DataBytes = uint64(*records*2) * uint64(*valueSize+40)
 		cfg.Shards = *shards
 		cfg.GroupCommitWindow = *groupCommit
+		cfg.CompactionWorkers = *compactionWorkers
 		if *threads > 24 {
 			cfg.Cores = *threads
 		}

@@ -1,0 +1,307 @@
+package bench
+
+// compactbench.go measures what moving compaction off the write path buys: a
+// sustained YCSB-A run (50/50 update/read over a uniform key space) against a
+// deliberately small LSM geometry, once with the legacy inline compaction
+// (CompactionWorkers=0, the spill goroutine pays for every cascade) and once
+// per configured worker count with the background priority scheduler. Write
+// shaping is on (ShapeLegacyWrites), so the writer pays for pressure the way
+// a real blocked application thread would: Slowdown paces it with tokens,
+// Stop blocks it until compaction drains, and both charge the virtual clock.
+// The committed BENCH_compact.json headline is the flow-control stall dwell
+// — virtual ns the engine spent in Slowdown/Stop, open segment included —
+// which the parallel scheduler must strictly reduce while keeping L0
+// bounded, plus the per-level write-amplification breakdown.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cachekv/internal/core"
+	"cachekv/internal/hw"
+	"cachekv/internal/hw/sim"
+	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
+	"cachekv/internal/obs"
+)
+
+// CompactBenchConfig sizes the serial-vs-parallel compaction experiment.
+type CompactBenchConfig struct {
+	Ops       int64 `json:"ops"`
+	KeySpace  int64 `json:"key_space"`
+	ValueSize int   `json:"value_size"`
+	// UpdateFrac is the write share of the mix (YCSB-A = 0.5; the rest are
+	// point reads over the same key space).
+	UpdateFrac float64 `json:"update_frac"`
+	// ShapeWrites arms admission shaping for the blocking writer: Slowdown
+	// paces it with tokens, Stop blocks it until compaction drains, and both
+	// charge the stall to the virtual clock (and so to stall dwell).
+	ShapeWrites bool `json:"shape_writes"`
+	// WorkersList holds the CompactionWorkers settings to measure; 0 is the
+	// inline-compaction baseline.
+	WorkersList []int `json:"workers_list"`
+
+	// Engine memory component, shrunk so the write volume turns the pool
+	// over many times and spills run throughout the workload.
+	PoolBytes        uint64 `json:"pool_bytes"`
+	SubMemTableBytes uint64 `json:"sub_memtable_bytes"`
+	ImmZoneBytes     uint64 `json:"imm_zone_bytes"`
+
+	// LSM geometry, shrunk so the run produces real multi-level cascades.
+	L0CompactionTrigger int    `json:"l0_compaction_trigger"`
+	BaseLevelBytes      int64  `json:"base_level_bytes"`
+	LevelMultiplier     int64  `json:"level_multiplier"`
+	MaxLevels           int    `json:"max_levels"`
+	TableFileSize       uint64 `json:"table_file_size"`
+
+	// Compaction-debt thresholds for the parallel points, sized to the whole
+	// level budget rather than the (deliberately tiny) base level the core
+	// default derives from: the signal should catch runaway backlog, not
+	// penalize the scheduler for the transient debt every spill burst
+	// creates. The serial baseline never arms the debt signal.
+	DebtSlowdownBytes uint64 `json:"debt_slowdown_bytes"`
+	DebtStopBytes     uint64 `json:"debt_stop_bytes"`
+
+	// SlowdownMaxDelayNs caps the Slowdown token refill interval. The bench
+	// keeps it low so paced admission (whose cost is the same whichever
+	// thread compacts) stays a nudge, and the stall budget concentrates in
+	// Stop blocking — the part background draining actually shortens.
+	SlowdownMaxDelayNs int64 `json:"slowdown_max_delay_ns"`
+}
+
+// DefaultCompactBenchConfig is the committed BENCH_compact.json setup: a
+// 24k-op YCSB-A mix (~12 MiB of updates) through a 2 MiB pool and a 2 MiB
+// ImmZone into a 512 KiB base level, with overload protection armed.
+func DefaultCompactBenchConfig() CompactBenchConfig {
+	return CompactBenchConfig{
+		Ops:                 24_000,
+		KeySpace:            200_000,
+		ValueSize:           1024,
+		UpdateFrac:          0.5,
+		ShapeWrites:         true,
+		WorkersList:         []int{0, 2, 4},
+		PoolBytes:           2 << 20,
+		SubMemTableBytes:    128 << 10,
+		ImmZoneBytes:        2 << 20,
+		L0CompactionTrigger: 4,
+		BaseLevelBytes:      512 << 10,
+		LevelMultiplier:     4,
+		MaxLevels:           5,
+		TableFileSize:       128 << 10,
+		DebtSlowdownBytes:   4 << 20,
+		DebtStopBytes:       16 << 20,
+		SlowdownMaxDelayNs:  16_000,
+	}
+}
+
+// CompactLevelIO is one level's compaction traffic.
+type CompactLevelIO struct {
+	Level    int   `json:"level"`
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+}
+
+// CompactPoint is one measured run.
+type CompactPoint struct {
+	Workers    int     `json:"workers"`
+	Ops        int64   `json:"ops"`
+	Updates    int64   `json:"updates"`
+	Reads      int64   `json:"reads"`
+	ElapsedVNs int64   `json:"elapsed_vns"`
+	KopsPerSec float64 `json:"kops_per_sec"`
+
+	// Stall accounting over the measured window: state dwell includes the
+	// segment still open when the window closes; DelayedNs is token-pacing
+	// wait and StopWaitNs time the writer spent blocked in Stop.
+	DwellSlowdownNs int64 `json:"dwell_slowdown_ns"`
+	DwellStopNs     int64 `json:"dwell_stop_ns"`
+	SlowdownEntries int64 `json:"slowdown_entries"`
+	StopEntries     int64 `json:"stop_entries"`
+	DelayedNs       int64 `json:"delayed_ns"`
+	StopWaitNs      int64 `json:"stop_wait_ns"`
+
+	// MaxL0Files is the largest L0 file count observed at the sample points.
+	MaxL0Files int `json:"max_l0_files"`
+
+	// Scheduler activity (zero on the inline baseline).
+	SchedJobs   int64 `json:"sched_jobs,omitempty"`
+	SchedBusyNs int64 `json:"sched_busy_ns,omitempty"`
+
+	// Write amplification: user bytes in, compaction traffic per level, and
+	// the total SST bytes rewritten per user byte (1.0 = flush only).
+	UserBytes    int64            `json:"user_bytes"`
+	Levels       []CompactLevelIO `json:"levels"`
+	CompactAmp   float64          `json:"compact_amp"`
+	FinalL0Files int              `json:"final_l0_files"`
+
+	Report           obs.RunReport `json:"report"`
+	VerifyViolations []string      `json:"verify_violations,omitempty"`
+}
+
+// CompactReport is the BENCH_compact.json payload.
+type CompactReport struct {
+	Schema string             `json:"schema"`
+	Config CompactBenchConfig `json:"config"`
+	Points []CompactPoint     `json:"points"`
+	// StallReduction divides the baseline's Slowdown+Stop dwell by the best
+	// parallel point's (higher is better; must exceed 1).
+	StallReduction float64 `json:"stall_reduction"`
+}
+
+func runCompactPoint(cfg CompactBenchConfig, workers int) (CompactPoint, error) {
+	tr := obs.NewTrace(obs.DefaultTraceCap)
+	mc := hw.DefaultConfig()
+	mc.PMemBytes = 4 << 30
+	m := hw.NewMachine(mc)
+	m.EnableObs()
+	th := m.NewThread(0)
+
+	opts := core.DefaultOptions()
+	opts.PoolBytes = cfg.PoolBytes
+	opts.SubMemTableBytes = cfg.SubMemTableBytes
+	opts.ImmZoneBytes = cfg.ImmZoneBytes
+	opts.FSBytes = 1 << 30
+	opts.CompactionWorkers = workers
+	opts.ShapeLegacyWrites = cfg.ShapeWrites
+	opts.Flow.DebtSlowdown = cfg.DebtSlowdownBytes
+	opts.Flow.DebtStop = cfg.DebtStopBytes
+	opts.Flow.SlowdownMaxDelay = cfg.SlowdownMaxDelayNs
+	opts.Trace = tr
+	opts.LSM = lsm.Options{
+		L0CompactionTrigger: cfg.L0CompactionTrigger,
+		BaseLevelBytes:      cfg.BaseLevelBytes,
+		LevelMultiplier:     cfg.LevelMultiplier,
+		MaxLevels:           cfg.MaxLevels,
+		TableFileSize:       cfg.TableFileSize,
+	}
+	e, err := core.Open(m, opts, th)
+	if err != nil {
+		return CompactPoint{}, fmt.Errorf("compactbench open (workers=%d): %w", workers, err)
+	}
+
+	r := NewRunner(m, e)
+	r.Col = obs.NewCollector()
+	rng := sim.NewRNG(42)
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	epoch := th.Clock.Now()
+	p := CompactPoint{Workers: workers, Ops: cfg.Ops}
+	sample := cfg.Ops / 64
+	if sample < 1 {
+		sample = 1
+	}
+	for i := int64(0); i < cfg.Ops; i++ {
+		k := []byte(fmt.Sprintf("key%012d", rng.Uint64n(uint64(cfg.KeySpace))))
+		if rng.Float64() < cfg.UpdateFrac {
+			p.Updates++
+			sp := r.Col.StartOp(th, obs.OpPut)
+			err := e.Put(th, k, val)
+			sp.End()
+			if err != nil {
+				return p, fmt.Errorf("compactbench put (workers=%d): %w", workers, err)
+			}
+		} else {
+			p.Reads++
+			sp := r.Col.StartOp(th, obs.OpGet)
+			_, err := e.Get(th, k)
+			sp.End()
+			if err != nil && err != kvstore.ErrNotFound {
+				return p, fmt.Errorf("compactbench get (workers=%d): %w", workers, err)
+			}
+		}
+		if i%sample == 0 {
+			if files, _ := e.Tree().L0Pressure(); files > p.MaxL0Files {
+				p.MaxL0Files = files
+			}
+		}
+	}
+	elapsed := th.Clock.Now() - epoch
+
+	fs := e.FlowStatsAt(th.Clock.Now())
+	p.ElapsedVNs = elapsed
+	p.KopsPerSec = float64(cfg.Ops) / float64(elapsed) * 1e6
+	p.DwellSlowdownNs = fs.DwellSlowdownNs
+	p.DwellStopNs = fs.DwellStopNs
+	p.SlowdownEntries = fs.SlowdownEntries
+	p.StopEntries = fs.StopEntries
+	p.DelayedNs = fs.DelayedNs
+	p.StopWaitNs = fs.StopWaitNs
+	p.UserBytes = p.Updates * int64(cfg.ValueSize+15)
+
+	// Settle the tree outside the measured window, then read the totals.
+	if err := e.FlushAll(th); err != nil {
+		return p, fmt.Errorf("compactbench flushall (workers=%d): %w", workers, err)
+	}
+	in, out := e.Tree().CompactionLevelStats()
+	var totalOut int64
+	for lvl := range in {
+		if in[lvl] != 0 || out[lvl] != 0 {
+			p.Levels = append(p.Levels, CompactLevelIO{Level: lvl, BytesIn: in[lvl], BytesOut: out[lvl]})
+		}
+		totalOut += out[lvl]
+	}
+	p.CompactAmp = 1 + float64(totalOut)/float64(p.UserBytes)
+	p.FinalL0Files, _ = e.Tree().L0Pressure()
+	if st := e.Tree().SchedulerStats(); st.Workers > 0 {
+		p.SchedJobs = st.JobsRun
+		p.SchedBusyNs = st.BusyNs
+	}
+
+	res := Result{
+		Name:       "compact-ycsba",
+		Engine:     e.Name(),
+		Ops:        cfg.Ops,
+		Threads:    1,
+		ElapsedNs:  elapsed,
+		ThreadVNs:  elapsed,
+		KopsPerSec: p.KopsPerSec,
+	}
+	p.Report = BuildRunReport(res, r, tr, false)
+	p.VerifyViolations = p.Report.Verify()
+	return p, e.Close(th)
+}
+
+// RunCompactBench measures every configured worker count.
+func RunCompactBench(cfg CompactBenchConfig) (*CompactReport, error) {
+	def := DefaultCompactBenchConfig()
+	if cfg.Ops == 0 {
+		cfg = def
+	}
+	if len(cfg.WorkersList) == 0 {
+		cfg.WorkersList = def.WorkersList
+	}
+	rep := &CompactReport{Schema: obs.Schema, Config: cfg}
+	var baseDwell, bestDwell int64 = -1, -1
+	for _, w := range cfg.WorkersList {
+		p, err := runCompactPoint(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, p)
+		dwell := p.DwellSlowdownNs + p.DwellStopNs
+		if w == 0 {
+			baseDwell = dwell
+		} else if bestDwell < 0 || dwell < bestDwell {
+			bestDwell = dwell
+		}
+	}
+	if baseDwell > 0 && bestDwell >= 0 {
+		if bestDwell == 0 {
+			bestDwell = 1
+		}
+		rep.StallReduction = float64(baseDwell) / float64(bestDwell)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly commits.
+func (r *CompactReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

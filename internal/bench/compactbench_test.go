@@ -1,0 +1,67 @@
+package bench
+
+import "testing"
+
+// TestCompactBenchSmoke runs a shrunken serial-vs-parallel compaction curve
+// end to end: every point must complete, stay Verify-clean, keep L0 bounded,
+// and the parallel points must actually run scheduler jobs. It is sized for
+// CI, not for the committed BENCH_compact.json numbers (the full config runs
+// via cachekv-bench -compact-out).
+func TestCompactBenchSmoke(t *testing.T) {
+	cfg := DefaultCompactBenchConfig()
+	cfg.Ops = 4_000
+	cfg.WorkersList = []int{0, 2}
+	rep, err := RunCompactBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(cfg.WorkersList) {
+		t.Fatalf("got %d points, want %d", len(rep.Points), len(cfg.WorkersList))
+	}
+	bound := 4 * cfg.L0CompactionTrigger
+	for _, p := range rep.Points {
+		t.Logf("workers=%d kops=%.1f dwellSlow=%d dwellStop=%d maxL0=%d jobs=%d amp=%.2f",
+			p.Workers, p.KopsPerSec, p.DwellSlowdownNs, p.DwellStopNs, p.MaxL0Files, p.SchedJobs, p.CompactAmp)
+		if len(p.VerifyViolations) != 0 {
+			t.Fatalf("workers=%d: report invariants violated: %v", p.Workers, p.VerifyViolations)
+		}
+		if p.Ops != cfg.Ops {
+			t.Fatalf("workers=%d: ran %d ops, want %d", p.Workers, p.Ops, cfg.Ops)
+		}
+		if p.MaxL0Files > bound {
+			t.Fatalf("workers=%d: L0 unbounded: max %d files > %d", p.Workers, p.MaxL0Files, bound)
+		}
+		if p.Workers > 0 && p.SchedJobs == 0 {
+			t.Fatalf("workers=%d: scheduler ran no jobs", p.Workers)
+		}
+		if p.Workers == 0 && p.SchedJobs != 0 {
+			t.Fatalf("serial baseline reported %d scheduler jobs", p.SchedJobs)
+		}
+	}
+}
+
+// TestCompactBenchFull exercises the committed BENCH_compact.json config.
+// Skipped under -short: it is the generation path, not a CI gate — stall
+// dwell ordering between modes has real-time scheduling noise, so only
+// structural properties are asserted here.
+func TestCompactBenchFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full compaction bench skipped in -short mode")
+	}
+	rep, err := RunCompactBench(DefaultCompactBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		t.Logf("workers=%d kops=%.1f elapsed=%d dwellSlow=%d dwellStop=%d delayed=%d stopWait=%d maxL0=%d finalL0=%d jobs=%d amp=%.2f verify=%v",
+			p.Workers, p.KopsPerSec, p.ElapsedVNs, p.DwellSlowdownNs, p.DwellStopNs,
+			p.DelayedNs, p.StopWaitNs, p.MaxL0Files, p.FinalL0Files, p.SchedJobs, p.CompactAmp, p.VerifyViolations)
+		if len(p.VerifyViolations) != 0 {
+			t.Fatalf("workers=%d: report invariants violated: %v", p.Workers, p.VerifyViolations)
+		}
+	}
+	t.Logf("stall reduction: %.2f", rep.StallReduction)
+	if rep.StallReduction <= 0 {
+		t.Fatalf("stall reduction not computed: %v", rep.StallReduction)
+	}
+}

@@ -85,6 +85,10 @@ type EngineConfig struct {
 	// commit (virtual ns and ops; zero takes the engine defaults).
 	GroupCommitWindow int64
 	GroupCommitMaxOps int
+	// CompactionWorkers > 0 runs the CacheKV-family engines with the
+	// background compaction scheduler (per shard when sharded); 0 keeps the
+	// legacy inline compaction.
+	CompactionWorkers int
 
 	// DataBytes is the expected working-set size of the experiment. It
 	// scales the baselines' memtables the way the paper configures them:
@@ -161,6 +165,7 @@ func (c EngineConfig) Open(kind EngineKind, m *hw.Machine, th *hw.Thread) (kvsto
 		if c.FlushThreads > 0 {
 			opts.FlushThreads = c.FlushThreads
 		}
+		opts.CompactionWorkers = c.CompactionWorkers
 		switch kind {
 		case PCSM:
 			opts.LazyIndex = false

@@ -38,7 +38,20 @@ func runObsYCSBC(t *testing.T, withObs bool) (Result, *Runner, *obs.Trace) {
 	if withObs {
 		r.Col = obs.NewCollector()
 	}
-	res, err := RunYCSB(r, YCSBC, records, ops, threads, valueSize)
+	// Load and measure as separate phases with a settle between them: the load
+	// leaves background work (spill plus its towed compaction) in flight, and
+	// letting the measured reads race it would make block-cache and version
+	// state — and hence virtual read cost — depend on real-time scheduling.
+	col := r.Col
+	r.Col = nil
+	if _, err := r.Run(YCSBLoad.workload(records, records, threads, valueSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Settle(th); err != nil {
+		t.Fatal(err)
+	}
+	r.Col = col
+	res, err := r.Run(YCSBC.workload(records, ops, threads, valueSize))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"cachekv/internal/hw"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
 	"cachekv/internal/util"
 )
 
@@ -35,6 +36,16 @@ func (b *Batch) Put(key, value []byte) {
 // Delete queues a tombstone into the batch.
 func (b *Batch) Delete(key []byte) {
 	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), kind: util.KindDelete})
+}
+
+// DeleteRange queues a range tombstone covering [start, end) into the batch.
+// Like the point ops it commits atomically with the rest of the batch.
+func (b *Batch) DeleteRange(start, end []byte) {
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), start...),
+		value: append([]byte(nil), end...),
+		kind:  util.KindRangeDel,
+	})
 }
 
 // Len returns the number of queued operations.
@@ -155,6 +166,16 @@ func (e *Engine) commitOps(th *hw.Thread, ops []batchOp, seqs []uint64, deadline
 		// in one atomic compare-and-swap.
 		if !e.pool.casHdr(th, s, hdr, packHdr(count+uint64(len(ops)), stateAllocated, tail+need)) {
 			continue
+		}
+		for i, op := range ops {
+			if op.kind == util.KindRangeDel {
+				e.rangeTombs.add(lsm.RangeDel{
+					Start: append([]byte(nil), op.key...),
+					End:   append([]byte(nil), op.value...),
+					Seq:   seqs[i],
+				})
+				e.stats.RangeDeletes.Add(1)
+			}
 		}
 		if e.opts.LazyIndex {
 			if (count+uint64(len(ops)))%uint64(e.opts.SyncThreshold) < uint64(len(ops)) {

@@ -71,9 +71,23 @@ type Options struct {
 	// turns the state machine off entirely (baseline measurements). Flow
 	// tunes the pressure thresholds; zero fields take defaults derived from
 	// the zone and LSM budgets.
+	// ShapeLegacyWrites extends admission shaping (Slowdown token pacing,
+	// Stop blocking) to deadline-0 writes without arming the deadline
+	// machinery: writes never fail with ErrStalled, they pay the stall on
+	// the virtual clock instead. Benchmarks use it to measure stall dwell
+	// under the blocking-writer contract.
 	WriteStallDeadline int64
+	ShapeLegacyWrites  bool
 	DisableFlowControl bool
 	Flow               FlowThresholds
+
+	// CompactionWorkers > 0 moves LSM compaction off the spill path onto a
+	// background scheduler with that many workers (each on its own simulated
+	// thread, attributed to PhaseCompact) picking jobs by priority and
+	// running disjoint-range same-level jobs concurrently. 0 keeps the legacy
+	// inline compaction after each spill. With workers enabled the flow
+	// controller also reads the tree's compaction-debt signal (Flow.Debt*).
+	CompactionWorkers int
 }
 
 // regionName returns the engine's name for one of its PMem regions,
@@ -156,6 +170,9 @@ type Stats struct {
 	// lazy sync).
 	FilterProbes    atomic.Int64
 	FilterNegatives atomic.Int64
+
+	RangeDeletes atomic.Int64 // DeleteRange calls (range tombstones committed)
+	Ingests      atomic.Int64 // Ingest batches installed
 }
 
 // Engine is the CacheKV store.
@@ -175,6 +192,12 @@ type Engine struct {
 	// via Options.SharedSeq) so versions order across the whole keyspace.
 	seq           *atomic.Uint64
 	maxSpilledSeq atomic.Uint64
+
+	// rangeTombs mirrors every range tombstone that may still be resident in
+	// the memory component, so Get applies coverage without walking slots.
+	// Entries are added at commit time and pruned on spill, but only once the
+	// tree's own metadata carries them (see pruneRangeTombs).
+	rangeTombs rangeTombList
 
 	flushCh        chan *slot
 	syncCh         chan syncReq
@@ -198,6 +221,10 @@ type Engine struct {
 		cond  *sync.Cond
 		doneV int64 // virtual completion time of the latest spill
 	}
+	// spillPending counts spill requests enqueued or mid-service (including
+	// the legacy inline compaction that follows a spill); quiesceSpills waits
+	// for it to reach zero so callers can settle the whole background chain.
+	spillPending atomic.Int64
 
 	stats  Stats
 	failed atomic.Pointer[error]
@@ -286,6 +313,10 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 	e.bumpSeq(e.tree.LastSeq())
 	e.maxSpilledSeq.Store(e.tree.LastSeq())
 
+	var debtFn func() uint64
+	if opts.CompactionWorkers > 0 {
+		debtFn = e.tree.CompactionDebt
+	}
 	e.flow = newFlowControl(opts, opts.DisableFlowControl,
 		e.tree.L0Pressure,
 		func() uint64 {
@@ -294,7 +325,7 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 				pending = 0
 			}
 			return e.immArena.Used() + uint64(pending)
-		})
+		}, debtFn)
 
 	if recovered {
 		e.trace.Emit(th.Clock.Now(), "recovery_start", "engine", e.Name(), "shard", opts.Shard)
@@ -333,6 +364,18 @@ func Open(m *hw.Machine, opts Options, th *hw.Thread) (*Engine, error) {
 		}
 	}
 
+	if opts.CompactionWorkers > 0 {
+		e.tree.StartScheduler(lsm.SchedulerConfig{
+			Workers:   opts.CompactionWorkers,
+			OnError:   e.fail,
+			OnJobDone: func(at int64) { e.flow.recompute(at, "lsm_compaction") },
+			Err:       e.bgErr,
+			Trace:     opts.Trace,
+		})
+		// A recovered tree may reopen with debt already due (crash mid-burst).
+		e.tree.Kick(th.Clock.Now())
+	}
+
 	for i := 0; i < opts.FlushThreads; i++ {
 		e.flushWG.Add(1)
 		go e.flusher()
@@ -357,6 +400,9 @@ func (e *Engine) fail(err error) {
 		e.pool.aborted.Store(true)
 	}
 	e.flow.abort()
+	if e.tree != nil {
+		e.tree.AbortScheduler()
+	}
 	if e.spillState.cond != nil {
 		e.spillState.mu.Lock()
 		e.spillState.cond.Broadcast()
@@ -415,6 +461,36 @@ func (e *Engine) RegisterObs(r *obs.Registry) {
 	r.Counter("engine_compactions", func() int64 { return e.stats.Compactions.Load() })
 	r.Counter("engine_read_syncs", func() int64 { return e.stats.ReadSyncs.Load() })
 	r.Counter("engine_pool_slots", func() int64 { return int64(e.pool.numSlots()) })
+	r.Counter("engine_range_deletes", func() int64 { return e.stats.RangeDeletes.Load() })
+	r.Counter("engine_ingests", func() int64 { return e.stats.Ingests.Load() })
+	r.Counter("compact_bytes_in", func() int64 {
+		in, _ := e.tree.CompactionLevelStats()
+		var s int64
+		for _, v := range in {
+			s += v
+		}
+		return s
+	})
+	r.Counter("compact_bytes_out", func() int64 {
+		_, out := e.tree.CompactionLevelStats()
+		var s int64
+		for _, v := range out {
+			s += v
+		}
+		return s
+	})
+	if e.tree.SchedulerActive() {
+		r.Counter("compact_jobs", func() int64 { return e.tree.SchedulerStats().JobsRun })
+		r.Gauge("compact_running", func() float64 { return float64(e.tree.SchedulerStats().Running) })
+		r.Gauge("compact_queued", func() float64 { return float64(e.tree.SchedulerStats().Queued) })
+		r.Counter("compact_busy_ns", func() int64 { return e.tree.SchedulerStats().BusyNs })
+	}
+	r.Gauge("compact_debt_bytes", func() float64 { return float64(e.tree.CompactionDebt()) })
+	for lvl := 0; lvl < e.tree.NumLevels(); lvl++ {
+		lvl := lvl
+		r.Gauge(fmt.Sprintf("lsm_l%d_files", lvl), func() float64 { return float64(e.tree.NumFiles(lvl)) })
+		r.Gauge(fmt.Sprintf("lsm_l%d_bytes", lvl), func() float64 { return float64(e.tree.LevelBytes(lvl)) })
+	}
 	e.flow.registerObs(r, "")
 }
 
@@ -423,6 +499,11 @@ func (e *Engine) FlowState() FlowState { return e.flow.current() }
 
 // FlowStats reports the flow-control counter snapshot.
 func (e *Engine) FlowStats() FlowStats { return e.flow.snapshot() }
+
+// FlowStatsAt is FlowStats with the dwell segment still open at virtual time
+// at included — benchmarks sampling mid-run use it so a window that ends
+// under pressure still accounts that stretch.
+func (e *Engine) FlowStatsAt(at int64) FlowStats { return e.flow.snapshotAt(at) }
 
 // FlowSignals reports the raw pressure signals the flow controller polls:
 // L0 file count and bytes, and the backlog (ImmZone occupancy plus
@@ -592,6 +673,15 @@ func (e *Engine) write(th *hw.Thread, key, value []byte, kind util.ValueKind, de
 			// Another thread on this core raced us; retry cleanly.
 			continue
 		}
+		if kind == util.KindRangeDel {
+			// Mirror the committed tombstone in DRAM before the call returns,
+			// so any Get starting after DeleteRange observes the coverage.
+			e.rangeTombs.add(lsm.RangeDel{
+				Start: append([]byte(nil), key...),
+				End:   append([]byte(nil), value...),
+				Seq:   seq,
+			})
+		}
 		if e.opts.LazyIndex {
 			// Trigger 2: hand the slot to the background index thread every
 			// SyncThreshold writes.
@@ -657,7 +747,9 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 		if list == nil {
 			continue
 		}
-		if v, fseq, kind, ok := e.searchList(th, list, s.dataAddr(), s.dataCap(), e.poolPart, key, snapshot); ok {
+		// A KindRangeDel hit is structural (its value is the span's end key,
+		// not a user value); coverage comes from rangeTombs below.
+		if v, fseq, kind, ok := e.searchList(th, list, s.dataAddr(), s.dataCap(), e.poolPart, key, snapshot); ok && kind != util.KindRangeDel {
 			res.Consider(v, fseq, kind)
 		}
 	}
@@ -692,7 +784,7 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 			})
 			if ok {
 				gseq, kind, addr := decodeGlobalVal(gv)
-				if gseq <= snapshot {
+				if gseq <= snapshot && kind != util.KindRangeDel {
 					// The global list stores absolute ImmZone addresses; bound
 					// the fetch by the zone's remaining extent.
 					if zone := e.immArena.Region(); addr < zone.End() {
@@ -719,7 +811,7 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 				continue
 			}
 		}
-		if v, fseq, kind, ok := e.searchList(th, t.list, t.base, t.dataLen, cache.DefaultPartition, key, snapshot); ok {
+		if v, fseq, kind, ok := e.searchList(th, t.list, t.base, t.dataLen, cache.DefaultPartition, key, snapshot); ok && kind != util.KindRangeDel {
 			res.Consider(v, fseq, kind)
 		}
 	}
@@ -744,6 +836,14 @@ func (e *Engine) Get(th *hw.Thread, key []byte) ([]byte, error) {
 		}
 	}
 
+	// Memory-resident range tombstones: the tree applies its own coverage,
+	// but a tombstone not yet spilled can hide older versions from any layer.
+	// Sound without consulting the tree here: a candidate the tree check was
+	// skipped for has res.Seq > maxSpilledSeq, and every tree tombstone's
+	// sequence is at or below maxSpilledSeq, so it could not cover anyway.
+	if cover := e.rangeTombs.coverSeq(key, snapshot); cover > 0 && (!res.Found || cover > res.Seq) {
+		return nil, kvstore.ErrNotFound
+	}
 	if !res.Found || res.Kind == util.KindDelete {
 		return nil, kvstore.ErrNotFound
 	}
@@ -761,7 +861,7 @@ func (e *Engine) Scan(th *hw.Thread, start []byte, limit int, fn func(key, value
 		return 0, err
 	}
 	merged := lsm.NewMergingIterator(its...)
-	return kvstore.UserScan(merged, start, snapshot, limit, fn), nil
+	return kvstore.UserScanTombs(merged, start, snapshot, limit, e.visibleRangeTombs(snapshot), fn), nil
 }
 
 // internalIterators returns one iterator per live data source (active slots,
@@ -824,6 +924,22 @@ func (e *Engine) FlushAll(th *hw.Thread) error {
 		runtime.Gosched()
 	}
 	e.spill(th)
+	if e.tree.SchedulerActive() {
+		e.tree.Kick(th.Clock.Now())
+		e.tree.WaitCompactIdle(th)
+	} else {
+		// Legacy inline mode: an earlier async spill may still be mid-service
+		// (including the compaction it tows behind it) — settle that chain,
+		// then pay down any remaining debt so FlushAll leaves the tree as
+		// quiet as the scheduler branch does.
+		e.quiesceSpills()
+		th.InPhase(hw.PhaseCompact, func() {
+			if err := e.tree.MaybeCompact(th); err != nil {
+				e.fail(err)
+			}
+		})
+		e.flow.recompute(th.Clock.Now(), "flushall_compact")
+	}
 	// Advance the caller past all background virtual time.
 	th.Clock.AdvanceTo(e.flushServers.EarliestFree())
 	return e.err()
@@ -846,6 +962,7 @@ func (e *Engine) Close(th *hw.Thread) error {
 	e.flushWG.Wait()
 	close(e.spillCh)
 	e.spillWG.Wait()
+	e.tree.StopScheduler()
 	close(e.syncCh)
 	close(e.compactCh)
 	e.indexWG.Wait()

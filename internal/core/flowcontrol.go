@@ -61,6 +61,17 @@ type FlowThresholds struct {
 	WALSlowdown, WALStop         uint64
 	WALSlowdownExit, WALStopExit uint64
 
+	// Compaction-debt bytes: the storage component's reorganization backlog
+	// (L0 bytes once the trigger is reached plus every deeper level's overage;
+	// see lsm.Tree.CompactionDebt). Unlike the L0 file count this tracks what
+	// the background compaction scheduler still owes in bytes, so admission
+	// reacts to a deep-level pileup before it cascades back into L0. Zero
+	// enter thresholds disable the signal; engines running a background
+	// scheduler (Options.CompactionWorkers > 0) derive them from the LSM
+	// level budget.
+	DebtSlowdown, DebtStop         uint64
+	DebtSlowdownExit, DebtStopExit uint64
+
 	// Slowdown token pacing: the first delayed writer waits SlowdownBaseDelay
 	// virtual ns, and each admitted token doubles the refill interval up to
 	// SlowdownMaxDelay, so sustained pressure converges on a hard admission
@@ -108,6 +119,27 @@ func (t FlowThresholds) withDefaults(opts Options) FlowThresholds {
 	if t.WALStopExit == 0 {
 		t.WALStopExit = t.WALStop * 3 / 4
 	}
+	// The debt signal arms only under a background compaction scheduler —
+	// without one the inline spill-path compaction clears debt synchronously
+	// and the L0 count already tells the whole story.
+	if opts.CompactionWorkers > 0 {
+		base := opts.LSM.BaseLevelBytes
+		if base <= 0 {
+			base = 8 << 20
+		}
+		if t.DebtSlowdown == 0 {
+			t.DebtSlowdown = uint64(base)
+		}
+		if t.DebtStop == 0 {
+			t.DebtStop = uint64(4 * base)
+		}
+	}
+	if t.DebtSlowdownExit == 0 {
+		t.DebtSlowdownExit = t.DebtSlowdown / 2
+	}
+	if t.DebtStopExit == 0 {
+		t.DebtStopExit = t.DebtStop * 3 / 4
+	}
 	if t.SlowdownBaseDelay == 0 {
 		t.SlowdownBaseDelay = 2_000 // 2µs virtual
 	}
@@ -153,9 +185,11 @@ type flowControl struct {
 	shapeLegacy bool
 
 	// Pressure signals, installed at Open. wal is nil until a sharded
-	// deployment wires its two-phase log size (installed under mu).
+	// deployment wires its two-phase log size (installed under mu); debt is
+	// nil unless a background compaction scheduler runs.
 	l0      func() (files int, bytes int64)
 	backlog func() uint64
+	debt    func() uint64
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -179,15 +213,16 @@ type flowControl struct {
 	stopWaitNs      atomic.Int64
 }
 
-func newFlowControl(opts Options, disabled bool, l0 func() (int, int64), backlog func() uint64) *flowControl {
+func newFlowControl(opts Options, disabled bool, l0 func() (int, int64), backlog, debt func() uint64) *flowControl {
 	fc := &flowControl{
 		th:          opts.Flow.withDefaults(opts),
 		shard:       opts.Shard,
 		trace:       opts.Trace,
 		disabled:    disabled,
-		shapeLegacy: opts.WriteStallDeadline != 0,
+		shapeLegacy: opts.WriteStallDeadline != 0 || opts.ShapeLegacyWrites,
 		l0:          l0,
 		backlog:     backlog,
+		debt:        debt,
 	}
 	fc.cond = sync.NewCond(&fc.mu)
 	fc.refillNs = fc.th.SlowdownBaseDelay
@@ -226,7 +261,7 @@ func level3(v, slow, stop uint64) FlowState {
 	}
 }
 
-func (fc *flowControl) rawLevelLocked(l0 int, backlog, wal uint64) FlowState {
+func (fc *flowControl) rawLevelLocked(l0 int, backlog, wal, debt uint64) FlowState {
 	s := level3(uint64(l0), uint64(fc.th.L0Slowdown), uint64(fc.th.L0Stop))
 	if b := level3(backlog, fc.th.BacklogSlowdown, fc.th.BacklogStop); b > s {
 		s = b
@@ -234,10 +269,13 @@ func (fc *flowControl) rawLevelLocked(l0 int, backlog, wal uint64) FlowState {
 	if w := level3(wal, fc.th.WALSlowdown, fc.th.WALStop); w > s {
 		s = w
 	}
+	if d := level3(debt, fc.th.DebtSlowdown, fc.th.DebtStop); d > s {
+		s = d
+	}
 	return s
 }
 
-func (fc *flowControl) holdLevelLocked(l0 int, backlog, wal uint64) FlowState {
+func (fc *flowControl) holdLevelLocked(l0 int, backlog, wal, debt uint64) FlowState {
 	// A disabled signal (zero enter threshold) must not hold a state either.
 	hold := func(v, slowEnter, slowExit, stopEnter, stopExit uint64) FlowState {
 		switch {
@@ -259,6 +297,10 @@ func (fc *flowControl) holdLevelLocked(l0 int, backlog, wal uint64) FlowState {
 		fc.th.WALStop, fc.th.WALStopExit); w > s {
 		s = w
 	}
+	if d := hold(debt, fc.th.DebtSlowdown, fc.th.DebtSlowdownExit,
+		fc.th.DebtStop, fc.th.DebtStopExit); d > s {
+		s = d
+	}
 	return s
 }
 
@@ -274,6 +316,10 @@ func (fc *flowControl) recompute(at int64, reason string) {
 	// before fc.mu so admission is never blocked behind a signal read.
 	files, _ := fc.l0()
 	backlog := fc.backlog()
+	var debt uint64
+	if fc.debt != nil {
+		debt = fc.debt()
+	}
 
 	fc.mu.Lock()
 	if fc.forced || fc.aborted {
@@ -285,20 +331,20 @@ func (fc *flowControl) recompute(at int64, reason string) {
 		wal = fc.wal()
 	}
 	cur := FlowState(fc.state.Load())
-	next := fc.rawLevelLocked(files, backlog, wal)
-	if hold := fc.holdLevelLocked(files, backlog, wal); cur > next && cur <= hold {
+	next := fc.rawLevelLocked(files, backlog, wal, debt)
+	if hold := fc.holdLevelLocked(files, backlog, wal, debt); cur > next && cur <= hold {
 		next = cur // hysteresis: signals dropped below enter but not below exit
 	} else if cur > next && hold > next {
 		next = hold // step down one severity at most as far as exits allow
 	}
 	if next != cur {
-		fc.transitionLocked(at, cur, next, reason, files, backlog, wal)
+		fc.transitionLocked(at, cur, next, reason, files, backlog, wal, debt)
 	}
 	fc.mu.Unlock()
 }
 
 // transitionLocked performs the state change bookkeeping under fc.mu.
-func (fc *flowControl) transitionLocked(at int64, from, to FlowState, reason string, l0 int, backlog, wal uint64) {
+func (fc *flowControl) transitionLocked(at int64, from, to FlowState, reason string, l0 int, backlog, wal, debt uint64) {
 	if d := at - fc.lastTransV; d > 0 {
 		fc.dwellHist[from].Record(d)
 		fc.dwellNs[from].Add(d)
@@ -320,7 +366,8 @@ func (fc *flowControl) transitionLocked(at int64, from, to FlowState, reason str
 	}
 	fc.trace.Emit(at, "flow_state", "shard", fc.shard,
 		"from", from.String(), "to", to.String(), "reason", reason,
-		"l0_files", l0, "backlog_bytes", backlog, "wal_bytes", wal)
+		"l0_files", l0, "backlog_bytes", backlog, "wal_bytes", wal,
+		"debt_bytes", debt)
 	fc.cond.Broadcast()
 }
 
@@ -432,7 +479,7 @@ func (fc *flowControl) force(at int64, s FlowState) {
 	fc.mu.Lock()
 	fc.forced = true
 	if cur := FlowState(fc.state.Load()); cur != s {
-		fc.transitionLocked(at, cur, s, "forced", 0, 0, 0)
+		fc.transitionLocked(at, cur, s, "forced", 0, 0, 0, 0)
 	}
 	fc.mu.Unlock()
 }
@@ -476,6 +523,32 @@ func (fc *flowControl) snapshot() FlowStats {
 	}
 }
 
+// snapshotAt is snapshot with the in-progress dwell segment folded in: a run
+// sampled while still under pressure books the open lastTransV..at stretch
+// into the current state's dwell, so "time spent in Slowdown/Stop" does not
+// depend on whether the state happened to de-escalate before the sample.
+func (fc *flowControl) snapshotAt(at int64) FlowStats {
+	if fc == nil {
+		return FlowStats{}
+	}
+	fc.mu.Lock()
+	open := at - fc.lastTransV
+	cur := FlowState(fc.state.Load())
+	fc.mu.Unlock()
+	s := fc.snapshot()
+	if open > 0 {
+		switch cur {
+		case FlowOK:
+			s.DwellOKNs += open
+		case FlowSlowdown:
+			s.DwellSlowdownNs += open
+		case FlowStop:
+			s.DwellStopNs += open
+		}
+	}
+	return s
+}
+
 // Add merges another snapshot (the sharded router's aggregation): counters
 // sum, State takes the most severe shard.
 func (s FlowStats) Add(o FlowStats) FlowStats {
@@ -510,6 +583,9 @@ func (fc *flowControl) registerObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"flow_dwell_stop_ns", func() int64 { return fc.dwellNs[FlowStop].Load() })
 	r.Gauge(prefix+"flow_dwell_slowdown_mean_ns", func() float64 { return fc.dwellHist[FlowSlowdown].Mean() })
 	r.Gauge(prefix+"flow_dwell_stop_mean_ns", func() float64 { return fc.dwellHist[FlowStop].Mean() })
+	if fc.debt != nil {
+		r.Gauge(prefix+"flow_compaction_debt_bytes", func() float64 { return float64(fc.debt()) })
+	}
 }
 
 // absDeadline converts a relative deadline (ns on the virtual clock; <= 0

@@ -16,7 +16,7 @@ func testFlow(th FlowThresholds) (fc *flowControl, setL0 func(int), setBacklog f
 	o.Flow = th
 	fc = newFlowControl(o, false,
 		func() (int, int64) { return l0, 0 },
-		func() uint64 { return backlog })
+		func() uint64 { return backlog }, nil)
 	return fc, func(v int) { l0 = v }, func(v uint64) { backlog = v }
 }
 
@@ -95,7 +95,7 @@ func TestFlowDisabledSignalNeverTriggers(t *testing.T) {
 	}
 	fc := newFlowControl(o, false,
 		func() (int, int64) { return 0, 0 },
-		func() uint64 { return backlog })
+		func() uint64 { return backlog }, nil)
 	setBacklog := func(v uint64) { backlog = v }
 	setBacklog(1 << 40)
 	fc.recompute(10, "test")

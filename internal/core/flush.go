@@ -95,53 +95,83 @@ func (e *Engine) flusher() {
 func (e *Engine) spillLoop() {
 	defer e.spillWG.Done()
 	for at := range e.spillCh {
-		if e.bgErr() != nil {
-			// Crash-stopped: acknowledge the request so waiters re-check
-			// the failure instead of sleeping forever.
-			e.spillState.mu.Lock()
-			e.spillState.cond.Broadcast()
-			e.spillState.mu.Unlock()
-			continue
-		}
-		th := e.m.NewThread(0)
-		th.Clock.AdvanceTo(at)
-		start := th.Clock.Now()
-		th.InPhase(hw.PhaseSpill, func() {
-			e.spillMu.Lock()
-			e.spillLocked(th)
-			e.spillMu.Unlock()
-		})
-		done := e.spillServer.Submit(at, th.Clock.Now()-start)
+		e.serveSpill(at)
 		e.spillState.mu.Lock()
-		if done > e.spillState.doneV {
-			e.spillState.doneV = done
-		}
+		e.spillPending.Add(-1)
 		e.spillState.cond.Broadcast()
 		e.spillState.mu.Unlock()
-		e.flow.recompute(th.Clock.Now(), "spill_end")
-		// LSM compaction debt is paid after writers are unblocked; its
-		// virtual cost still occupies this background server, delaying
-		// future spills exactly as LevelDB's single compaction thread would.
-		cstart := th.Clock.Now()
-		th.InPhase(hw.PhaseCompact, func() {
-			if err := e.tree.MaybeCompact(th); err != nil {
-				e.fail(err)
-			}
-		})
-		if dur := th.Clock.Now() - cstart; dur > 0 {
-			e.trace.Emit(th.Clock.Now(), "lsm_compaction", "ns", dur)
-		}
-		e.spillServer.Submit(done, th.Clock.Now()-cstart)
-		e.flow.recompute(th.Clock.Now(), "lsm_compaction")
 	}
+}
+
+// serveSpill is one spillLoop iteration: the spill itself plus, in legacy
+// inline mode, the compaction debt it created.
+func (e *Engine) serveSpill(at int64) {
+	if e.bgErr() != nil {
+		// Crash-stopped: acknowledge the request so waiters re-check
+		// the failure instead of sleeping forever.
+		e.spillState.mu.Lock()
+		e.spillState.cond.Broadcast()
+		e.spillState.mu.Unlock()
+		return
+	}
+	th := e.m.NewThread(0)
+	th.Clock.AdvanceTo(at)
+	start := th.Clock.Now()
+	th.InPhase(hw.PhaseSpill, func() {
+		e.spillMu.Lock()
+		e.spillLocked(th)
+		e.spillMu.Unlock()
+	})
+	done := e.spillServer.Submit(at, th.Clock.Now()-start)
+	e.spillState.mu.Lock()
+	if done > e.spillState.doneV {
+		e.spillState.doneV = done
+	}
+	e.spillState.cond.Broadcast()
+	e.spillState.mu.Unlock()
+	e.flow.recompute(th.Clock.Now(), "spill_end")
+	if e.tree.SchedulerActive() {
+		// Background scheduler: hand the new debt to the workers and let
+		// the spill thread return to serving writers immediately.
+		e.tree.Kick(th.Clock.Now())
+		return
+	}
+	// Legacy inline mode: LSM compaction debt is paid after writers are
+	// unblocked; its virtual cost still occupies this background server,
+	// delaying future spills exactly as LevelDB's single compaction
+	// thread would.
+	cstart := th.Clock.Now()
+	th.InPhase(hw.PhaseCompact, func() {
+		if err := e.tree.MaybeCompact(th); err != nil {
+			e.fail(err)
+		}
+	})
+	if dur := th.Clock.Now() - cstart; dur > 0 {
+		e.trace.Emit(th.Clock.Now(), "lsm_compaction", "ns", dur)
+	}
+	e.spillServer.Submit(done, th.Clock.Now()-cstart)
+	e.flow.recompute(th.Clock.Now(), "lsm_compaction")
 }
 
 // requestSpill asks the spill thread to run (idempotent while one is queued).
 func (e *Engine) requestSpill(at int64) {
+	e.spillPending.Add(1)
 	select {
 	case e.spillCh <- at:
 	default:
+		e.spillPending.Add(-1)
 	}
+}
+
+// quiesceSpills blocks until the spill thread has no queued or in-flight
+// work — including the inline compaction a legacy-mode spill tows behind it.
+// Only the background chain is awaited; the caller's clock is not advanced.
+func (e *Engine) quiesceSpills() {
+	e.spillState.mu.Lock()
+	for e.spillPending.Load() > 0 && e.bgErr() == nil {
+		e.spillState.cond.Wait()
+	}
+	e.spillState.mu.Unlock()
 }
 
 // waitForSpace blocks (really and virtually) until the ImmZone can hold need
@@ -440,6 +470,10 @@ func (e *Engine) spillLocked(th *hw.Thread) {
 			break
 		}
 	}
+	// Range tombstones that just reached the tree no longer need their DRAM
+	// mirrors (retirement is by tree membership, not sequence — see
+	// pruneRangeTombs).
+	e.pruneRangeTombs()
 	if len(rest) == 0 {
 		e.immArena.Reset()
 		// Invalidate the recovery scan: zero the first header's magic.

@@ -5,6 +5,7 @@ import (
 
 	"cachekv/internal/hw"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
 	"cachekv/internal/memfilter"
 	"cachekv/internal/skiplist"
 	"cachekv/internal/util"
@@ -136,9 +137,19 @@ func (e *Engine) rebuildList(th *hw.Thread, base, limit uint64, count uint64) (*
 		}
 		buf := make([]byte, 8+blen)
 		e.m.PMem.Read(th.Clock, base+off, buf)
-		ik, _, n, err := kvstore.DecodeEntry(buf)
+		ik, val, n, err := kvstore.DecodeEntry(buf)
 		if err != nil {
 			break
+		}
+		if ik.Kind() == util.KindRangeDel {
+			// Rebuild the DRAM tombstone mirror alongside the filters: the
+			// recovered entry is memory-resident again, so Get needs its
+			// coverage before the engine serves reads.
+			e.rangeTombs.add(lsm.RangeDel{
+				Start: append([]byte(nil), ik.UserKey()...),
+				End:   append([]byte(nil), val...),
+				Seq:   ik.Seq(),
+			})
 		}
 		if filter != nil {
 			filter.Add(ik.UserKey())

@@ -22,6 +22,7 @@ package core
 // inside that shared partition's capacity.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -564,6 +565,75 @@ func (sh *Sharded) DeleteWithDeadline(th *hw.Thread, key []byte, deadlineNs int6
 	return nil
 }
 
+// DeleteRange deletes every key in [start, end) across the whole keyspace.
+// Keys hash-partition across shards, so any key in the span may live on any
+// shard: a range tombstone is committed to EVERY shard — through the
+// two-phase protocol when there is more than one, so after a crash either
+// all shards carry the tombstone or none does.
+func (sh *Sharded) DeleteRange(th *hw.Thread, start, end []byte) error {
+	return sh.DeleteRangeWithDeadline(th, start, end, sh.opts.Base.WriteStallDeadline)
+}
+
+// DeleteRangeWithDeadline is DeleteRange under a write deadline. Like
+// cross-shard Apply, every participant must admit the write before its
+// deadline or the whole operation fails with ErrStalled before any durable
+// state changes.
+func (sh *Sharded) DeleteRangeWithDeadline(th *hw.Thread, start, end []byte, deadlineNs int64) error {
+	if err := sh.err(); err != nil {
+		return err
+	}
+	if bytes.Compare(start, end) >= 0 {
+		return nil
+	}
+	th.ChargeDRAM(1)
+	deadlineV := absDeadline(th, deadlineNs)
+	op := batchOp{
+		key:   append([]byte(nil), start...),
+		value: append([]byte(nil), end...),
+		kind:  util.KindRangeDel,
+	}
+	n := uint64(len(sh.shards))
+	firstSeq := sh.seq.Add(n) - n + 1
+	if len(sh.shards) == 1 {
+		if err := sh.shards[0].flow.admitWrite(th, deadlineV); err != nil {
+			return err
+		}
+		return sh.submitAndWait(th, 0, []batchOp{op}, []uint64{firstSeq}, deadlineV)
+	}
+	portions := make([]*shardPortion, len(sh.shards))
+	for k := range sh.shards {
+		portions[k] = &shardPortion{shard: k, ops: []batchOp{op}, seqs: []uint64{firstSeq + uint64(k)}}
+	}
+	return sh.tpc.commit(th, portions, deadlineV)
+}
+
+// Ingest bulk-loads sorted entries, routing each to its owning shard. Each
+// shard's slice installs atomically (one manifest record); the call is not
+// atomic ACROSS shards — a crash between installs leaves whole per-shard
+// slices present or absent, never a torn table.
+func (sh *Sharded) Ingest(th *hw.Thread, entries []lsm.IngestEntry) error {
+	if err := sh.err(); err != nil {
+		return err
+	}
+	th.ChargeDRAM(1)
+	// A globally ascending batch stays ascending within each shard's
+	// subsequence, so per-shard validation passes whenever the input is valid.
+	byShard := make([][]lsm.IngestEntry, len(sh.shards))
+	for _, ent := range entries {
+		k := sh.ShardOf(ent.Key)
+		byShard[k] = append(byShard[k], ent)
+	}
+	for k, part := range byShard {
+		if len(part) == 0 {
+			continue
+		}
+		if err := sh.shards[k].Ingest(th, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Get implements kvstore.DB: reads route directly to the owning shard on the
 // caller's thread — no group, no park.
 func (sh *Sharded) Get(th *hw.Thread, key []byte) ([]byte, error) {
@@ -582,15 +652,17 @@ func (sh *Sharded) Scan(th *hw.Thread, start []byte, limit int, fn func(key, val
 	}
 	snapshot := sh.seq.Load()
 	var its []lsm.Iterator
+	var tombs []lsm.RangeDel
 	for _, e := range sh.shards {
 		sits, err := e.internalIterators(th)
 		if err != nil {
 			return 0, err
 		}
 		its = append(its, sits...)
+		tombs = append(tombs, e.visibleRangeTombs(snapshot)...)
 	}
 	merged := lsm.NewMergingIterator(its...)
-	return kvstore.UserScan(merged, start, snapshot, limit, fn), nil
+	return kvstore.UserScanTombs(merged, start, snapshot, limit, tombs, fn), nil
 }
 
 // Apply commits an atomic multi-key batch. A batch whose keys all hash to one
@@ -746,6 +818,35 @@ func (sh *Sharded) RegisterObs(r *obs.Registry) {
 	r.Counter("engine_spills", sum(func(s *Stats) int64 { return s.Spills.Load() }))
 	r.Counter("engine_compactions", sum(func(s *Stats) int64 { return s.Compactions.Load() }))
 	r.Counter("engine_read_syncs", sum(func(s *Stats) int64 { return s.ReadSyncs.Load() }))
+	r.Counter("engine_range_deletes", sum(func(s *Stats) int64 { return s.RangeDeletes.Load() }))
+	r.Counter("engine_ingests", sum(func(s *Stats) int64 { return s.Ingests.Load() }))
+	r.Counter("compact_bytes_in", func() int64 {
+		var t int64
+		for _, e := range sh.shards {
+			in, _ := e.tree.CompactionLevelStats()
+			for _, v := range in {
+				t += v
+			}
+		}
+		return t
+	})
+	r.Counter("compact_bytes_out", func() int64 {
+		var t int64
+		for _, e := range sh.shards {
+			_, out := e.tree.CompactionLevelStats()
+			for _, v := range out {
+				t += v
+			}
+		}
+		return t
+	})
+	r.Counter("compact_jobs", func() int64 {
+		var t int64
+		for _, e := range sh.shards {
+			t += e.tree.SchedulerStats().JobsRun
+		}
+		return t
+	})
 	r.Counter("engine_pool_slots", func() int64 {
 		var t int64
 		for _, e := range sh.shards {

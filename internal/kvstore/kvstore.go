@@ -69,6 +69,18 @@ func (r *UserGetResult) Consider(value []byte, seq uint64, kind util.ValueKind) 
 // yields each live user key's freshest value, skipping shadowed versions and
 // tombstones. It returns the number of entries visited.
 func UserScan(it lsm.Iterator, start []byte, seq uint64, limit int, fn func(key, value []byte) bool) int {
+	return UserScanTombs(it, start, seq, limit, nil, fn)
+}
+
+// UserScanTombs is UserScan with range-tombstone awareness. tombs is the
+// pre-collected list of every range tombstone visible at the snapshot (a Seek
+// past a tombstone's start key would never visit its entry, so coverage
+// cannot be derived from the iterator alone). A key's freshest visible
+// version is suppressed when some tombstone spans it with a strictly higher
+// sequence — the equal-seq point write survives. KindRangeDel entries
+// surfacing from the sources are structural, not key versions: they neither
+// shadow a point write at the same user key nor appear in the output.
+func UserScanTombs(it lsm.Iterator, start []byte, seq uint64, limit int, tombs []lsm.RangeDel, fn func(key, value []byte) bool) int {
 	ik := util.MakeInternalKey(nil, start, seq, util.KindValue)
 	it.Seek(ik)
 	var lastUser []byte
@@ -76,7 +88,7 @@ func UserScan(it lsm.Iterator, start []byte, seq uint64, limit int, fn func(key,
 	n := 0
 	for it.Valid() && (limit <= 0 || n < limit) {
 		key := it.Key()
-		if key.Seq() > seq {
+		if key.Seq() > seq || key.Kind() == util.KindRangeDel {
 			it.Next()
 			continue
 		}
@@ -88,6 +100,17 @@ func UserScan(it lsm.Iterator, start []byte, seq uint64, limit int, fn func(key,
 		lastUser = append(lastUser[:0], u...)
 		haveLast = true
 		if key.Kind() == util.KindDelete {
+			it.Next()
+			continue
+		}
+		covered := false
+		for _, rd := range tombs {
+			if rd.Seq <= seq && rd.Covers(u, key.Seq()) {
+				covered = true
+				break
+			}
+		}
+		if covered {
 			it.Next()
 			continue
 		}

@@ -4,6 +4,24 @@ import (
 	"cachekv/internal/util"
 )
 
+// RangeDel is one range tombstone carried in a file's metadata: user keys in
+// [Start, End) written with a sequence number strictly below Seq are dead.
+// Tombstones also live as KindRangeDel entries in the data stream (so they
+// survive crashes the same way point writes do); the manifest copy lets point
+// reads and scans aggregate coverage without opening every table.
+type RangeDel struct {
+	Start []byte
+	End   []byte
+	Seq   uint64
+}
+
+// Covers reports whether the tombstone hides a version of ukey written at
+// seq. Coverage is strict on sequence: an equal-seq point write survives.
+func (rd RangeDel) Covers(ukey []byte, seq uint64) bool {
+	return seq < rd.Seq &&
+		string(ukey) >= string(rd.Start) && string(ukey) < string(rd.End)
+}
+
 // FileMeta describes one SSTable registered in the version set.
 type FileMeta struct {
 	Num      uint64
@@ -11,6 +29,10 @@ type FileMeta struct {
 	Count    int
 	Smallest util.InternalKey
 	Largest  util.InternalKey
+	// RangeDels lists the range tombstones stored in this table. Their spans
+	// may extend beyond [Smallest, Largest]: Smallest/Largest cover the entry
+	// *keys* (a tombstone entry's key is its start key), not the spans.
+	RangeDels []RangeDel
 }
 
 // versionEdit is one manifest record: files added/removed plus counters.
@@ -41,6 +63,12 @@ func (e *versionEdit) encode() []byte {
 		b = util.PutUvarint(b, uint64(a.meta.Count))
 		b = util.PutLengthPrefixed(b, a.meta.Smallest)
 		b = util.PutLengthPrefixed(b, a.meta.Largest)
+		b = util.PutUvarint(b, uint64(len(a.meta.RangeDels)))
+		for _, rd := range a.meta.RangeDels {
+			b = util.PutLengthPrefixed(b, rd.Start)
+			b = util.PutLengthPrefixed(b, rd.End)
+			b = util.PutUvarint(b, rd.Seq)
+		}
 	}
 	b = util.PutUvarint(b, uint64(len(e.deleted)))
 	for _, d := range e.deleted {
@@ -92,6 +120,29 @@ func decodeEdit(src []byte) (*versionEdit, error) {
 		}
 		a.meta.Largest = append(util.InternalKey(nil), k...)
 		src = src[n:]
+		var nRD uint64
+		if nRD, n, err = util.Uvarint(src); err != nil {
+			return nil, err
+		}
+		src = src[n:]
+		for j := uint64(0); j < nRD; j++ {
+			var rd RangeDel
+			if k, n, err = util.LengthPrefixed(src); err != nil {
+				return nil, err
+			}
+			rd.Start = append([]byte(nil), k...)
+			src = src[n:]
+			if k, n, err = util.LengthPrefixed(src); err != nil {
+				return nil, err
+			}
+			rd.End = append([]byte(nil), k...)
+			src = src[n:]
+			if rd.Seq, n, err = util.Uvarint(src); err != nil {
+				return nil, err
+			}
+			src = src[n:]
+			a.meta.RangeDels = append(a.meta.RangeDels, rd)
+		}
 		e.added = append(e.added, a)
 	}
 	nDel, n, err := util.Uvarint(src)

@@ -62,6 +62,8 @@ type Stats struct {
 	Compactions     int64
 	CompactedBytes  int64
 	TablesCompacted int64
+	Ingests         int64
+	TablesIngested  int64
 }
 
 // Tree is the on-PMem LSM storage component.
@@ -77,6 +79,25 @@ type Tree struct {
 	nextFile       uint64
 	lastSeq        uint64
 	stats          Stats
+
+	// compacting holds file numbers reserved by in-flight compaction jobs
+	// (inputs and next-level overlap alike). Pickers skip any candidate whose
+	// file set intersects it, so concurrent workers never double-claim an
+	// extent and same-level jobs stay on disjoint key ranges.
+	compacting map[uint64]bool
+	// compactPtr remembers, per level, the largest user key of the last
+	// picked inputs so successive picks rotate through the key space instead
+	// of hammering the leftmost file.
+	compactPtr [][]byte
+	// rangeDelCount tracks live range tombstones across every FileMeta so
+	// the common tombstone-free case skips coverage aggregation entirely.
+	rangeDelCount int
+	// compactIn/compactOut accumulate, per level, bytes consumed from and
+	// written to that level by compactions — the write-amplification ledger.
+	compactIn  []int64
+	compactOut []int64
+
+	sched *scheduler
 
 	readerMu sync.Mutex
 	readers  map[uint64]*sstable.Reader
@@ -104,6 +125,10 @@ func Open(m *hw.Machine, fs *pmemfs.FS, manifestRegion hw.Region, opts Options, 
 		nextFile:       1,
 		readers:        make(map[uint64]*sstable.Reader),
 		blockCache:     blockcache.New(opts.BlockCacheBytes, opts.BlockCacheShards),
+		compacting:     make(map[uint64]bool),
+		compactPtr:     make([][]byte, opts.MaxLevels),
+		compactIn:      make([]int64, opts.MaxLevels),
+		compactOut:     make([]int64, opts.MaxLevels),
 	}
 	// Replay the previous manifest, if any.
 	r := wal.NewReader(m, manifestRegion)
@@ -129,6 +154,30 @@ func Open(m *hw.Machine, fs *pmemfs.FS, manifestRegion hw.Region, opts Options, 
 		}
 		t.levels[lvl] = keep
 	}
+	// Delete orphaned tables: outputs of a compaction or ingest whose
+	// installing manifest record never landed (the edit is one CRC'd append,
+	// so a crash leaves exactly the old file set), plus graveyarded inputs
+	// whose grace period was cut short by the crash. Recovery holds no
+	// iterators, so immediate deletion is safe — and necessary, because the
+	// replayed nextFile may be below the orphans' numbers and new tables
+	// would collide with the stale extents.
+	live := make(map[uint64]bool)
+	for _, files := range t.levels {
+		for _, f := range files {
+			live[f.Num] = true
+		}
+	}
+	for _, name := range fs.List() {
+		var num uint64
+		if n, err := fmt.Sscanf(name, "%d.sst", &num); err != nil || n != 1 {
+			continue
+		}
+		if !live[num] {
+			if err := fs.Delete(th, name); err != nil {
+				return nil, err
+			}
+		}
+	}
 	// Start a fresh manifest holding one snapshot edit.
 	t.manifest = wal.NewWriter(m, manifestRegion, th)
 	snap := &versionEdit{nextFile: t.nextFile, lastSeq: t.lastSeq}
@@ -152,6 +201,7 @@ func (t *Tree) apply(e *versionEdit) {
 		files := t.levels[d.level]
 		for i, f := range files {
 			if f.Num == d.num {
+				t.rangeDelCount -= len(f.RangeDels)
 				t.levels[d.level] = append(files[:i:i], files[i+1:]...)
 				break
 			}
@@ -159,6 +209,7 @@ func (t *Tree) apply(e *versionEdit) {
 	}
 	for _, a := range e.added {
 		meta := a.meta
+		t.rangeDelCount += len(meta.RangeDels)
 		t.levels[a.level] = append(t.levels[a.level], &meta)
 		t.sortLevel(a.level)
 	}
@@ -208,6 +259,9 @@ func (t *Tree) NumFiles(level int) int {
 }
 
 // LevelBytes returns a level's total byte size.
+// NumLevels reports the configured level count (including L0).
+func (t *Tree) NumLevels() int { return t.opts.MaxLevels }
+
 func (t *Tree) LevelBytes(level int) int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -270,11 +324,30 @@ func (t *Tree) CacheStats() blockcache.Stats { return t.blockCache.Stats() }
 
 // writeTables drains it into one or more SSTables capped at TableFileSize,
 // returning their metadata. Entries must arrive in internal-key order.
-func (t *Tree) writeTables(th *hw.Thread, it Iterator, dropShadowed, dropTombstones bool) ([]FileMeta, error) {
+//
+// cover lists the range tombstones participating in this rewrite (a
+// compaction passes the tombstones carried by its input files): point
+// entries they cover — strictly older sequence, user key in [Start, End) —
+// are dropped, since the tombstone itself is retained. Range-tombstone
+// entries are never treated as key versions: they don't shadow point writes
+// at the same user key, and they are recorded in the emitting file's FileMeta
+// so readers can aggregate coverage from metadata alone.
+//
+// dropTombstones drops point tombstones (KindDelete) — compactions set it
+// when no level below the output overlaps the key range. Range tombstones are
+// NEVER dropped: the engine's sub-MemTable slots flush out of sequence order,
+// so an entry older than an acknowledged DeleteRange can still be
+// memory-resident while the tombstone compacts to the bottom; dropping it
+// there would resurrect that entry when its slot finally spills. A range
+// tombstone's metadata footprint is tiny, so it simply outlives every version
+// it can still hide.
+func (t *Tree) writeTables(th *hw.Thread, it Iterator, dropShadowed, dropTombstones bool, cover []RangeDel) ([]FileMeta, error) {
 	var out []FileMeta
 	var w *sstable.Writer
 	var num uint64
 	var lastUser []byte
+	var curRDs []RangeDel
+	var lastRD util.InternalKey
 	haveLast := false
 
 	finish := func() error {
@@ -296,22 +369,36 @@ func (t *Tree) writeTables(th *hw.Thread, it Iterator, dropShadowed, dropTombsto
 		}
 		out = append(out, FileMeta{
 			Num: num, Size: size, Count: count,
-			Smallest: append(util.InternalKey(nil), smallest...),
-			Largest:  append(util.InternalKey(nil), largest...),
+			Smallest:  append(util.InternalKey(nil), smallest...),
+			Largest:   append(util.InternalKey(nil), largest...),
+			RangeDels: curRDs,
 		})
 		w = nil
+		curRDs = nil
 		return nil
 	}
 
 	for ; it.Valid(); it.Next() {
 		ikey := it.Key()
-		if dropShadowed && haveLast && bytes.Equal(ikey.UserKey(), lastUser) {
-			continue // older version of a key we already emitted
-		}
-		lastUser = append(lastUser[:0], ikey.UserKey()...)
-		haveLast = true
-		if dropTombstones && ikey.Kind() == util.KindDelete {
-			continue
+		isRD := ikey.Kind() == util.KindRangeDel
+		if isRD {
+			// Identical tombstone from two sources (defensive): emit once.
+			if lastRD != nil && util.CompareInternal(ikey, lastRD) == 0 {
+				continue
+			}
+			lastRD = append(lastRD[:0], ikey...)
+		} else {
+			if dropShadowed && haveLast && bytes.Equal(ikey.UserKey(), lastUser) {
+				continue // older version of a key we already emitted
+			}
+			lastUser = append(lastUser[:0], ikey.UserKey()...)
+			haveLast = true
+			if covered(cover, ikey) {
+				continue
+			}
+			if dropTombstones && ikey.Kind() == util.KindDelete {
+				continue
+			}
 		}
 		if w == nil {
 			t.mu.Lock()
@@ -328,6 +415,13 @@ func (t *Tree) writeTables(th *hw.Thread, it Iterator, dropShadowed, dropTombsto
 		if err := w.Add(ikey, it.Value()); err != nil {
 			return nil, err
 		}
+		if isRD {
+			curRDs = append(curRDs, RangeDel{
+				Start: append([]byte(nil), ikey.UserKey()...),
+				End:   append([]byte(nil), it.Value()...),
+				Seq:   ikey.Seq(),
+			})
+		}
 		if w.EstimatedSize() >= t.opts.TableFileSize {
 			if err := finish(); err != nil {
 				return nil, err
@@ -340,6 +434,20 @@ func (t *Tree) writeTables(th *hw.Thread, it Iterator, dropShadowed, dropTombsto
 	return out, nil
 }
 
+// covered reports whether some tombstone in cover hides this point entry.
+func covered(cover []RangeDel, ikey util.InternalKey) bool {
+	if len(cover) == 0 {
+		return false
+	}
+	ukey, seq := ikey.UserKey(), ikey.Seq()
+	for _, rd := range cover {
+		if rd.Covers(ukey, seq) {
+			return true
+		}
+	}
+	return false
+}
+
 // Flush writes the contents of it (a frozen memtable view in internal-key
 // order) into new tables at L0 — or L1 in SingleLevel mode — records maxSeq,
 // and runs any compactions that fall due. It is called from background flush
@@ -347,7 +455,7 @@ func (t *Tree) writeTables(th *hw.Thread, it Iterator, dropShadowed, dropTombsto
 // installation.
 func (t *Tree) Flush(th *hw.Thread, it Iterator, maxSeq uint64) error {
 	it.SeekToFirst()
-	metas, err := t.writeTables(th, it, false, false)
+	metas, err := t.writeTables(th, it, false, false, nil)
 	if err != nil {
 		return err
 	}
@@ -377,7 +485,7 @@ func (t *Tree) Flush(th *hw.Thread, it Iterator, maxSeq uint64) error {
 // compaction debt (CacheKV's spill path) use it and compact afterwards.
 func (t *Tree) FlushNoCompact(th *hw.Thread, it Iterator, maxSeq uint64) error {
 	it.SeekToFirst()
-	metas, err := t.writeTables(th, it, false, false)
+	metas, err := t.writeTables(th, it, false, false, nil)
 	if err != nil {
 		return err
 	}
@@ -408,30 +516,151 @@ func (t *Tree) levelLimit(level int) int64 {
 	return limit
 }
 
-// pickCompaction chooses the next compaction under t.mu; nil means none due.
+// compaction is one picked job: inputs at level merge with the overlapping
+// files at level+1. The picker reserved every file in both slices; compact
+// releases them when the version edit installs.
 type compaction struct {
 	level   int // input level; outputs go to level+1
 	inputs  []*FileMeta
 	overlap []*FileMeta
+	score   float64
 }
 
+// pickCompaction chooses the next compaction under t.mu and reserves its
+// files; nil means nothing is due or every due job conflicts with a running
+// one. Levels are ranked by debt score — L0 by file count over the trigger,
+// L1+ by bytes over the level limit — so the worker pool always digests the
+// deepest debt first instead of walking levels in FIFO order.
 func (t *Tree) pickCompaction() *compaction {
 	if t.opts.SingleLevel {
 		return nil
 	}
-	if len(t.levels[0]) >= t.opts.L0CompactionTrigger {
-		c := &compaction{level: 0, inputs: append([]*FileMeta(nil), t.levels[0]...)}
-		c.overlap = t.overlapping(1, c.inputs)
-		return c
+	type cand struct {
+		level int
+		score float64
+	}
+	var cands []cand
+	if n := len(t.levels[0]); n >= t.opts.L0CompactionTrigger {
+		cands = append(cands, cand{0, float64(n) / float64(t.opts.L0CompactionTrigger)})
 	}
 	for lvl := 1; lvl < t.opts.MaxLevels-1; lvl++ {
-		if t.levelBytesLocked(lvl) > t.levelLimit(lvl) && len(t.levels[lvl]) > 0 {
-			c := &compaction{level: lvl, inputs: []*FileMeta{t.levels[lvl][0]}}
-			c.overlap = t.overlapping(lvl+1, c.inputs)
+		if len(t.levels[lvl]) == 0 {
+			continue
+		}
+		if score := float64(t.levelBytesLocked(lvl)) / float64(t.levelLimit(lvl)); score > 1.0 {
+			cands = append(cands, cand{lvl, score})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	for _, cd := range cands {
+		if c := t.buildCompactionLocked(cd.level); c != nil {
+			c.score = cd.score
 			return c
 		}
 	}
 	return nil
+}
+
+// compactionDueLocked reports whether any level is over its limit — the
+// backlog probe used by WaitCompactIdle (ignores reservations: a due level
+// whose files are all claimed still counts as pending work).
+func (t *Tree) compactionDueLocked() bool {
+	if t.opts.SingleLevel {
+		return false
+	}
+	if len(t.levels[0]) >= t.opts.L0CompactionTrigger {
+		return true
+	}
+	for lvl := 1; lvl < t.opts.MaxLevels-1; lvl++ {
+		if len(t.levels[lvl]) > 0 && t.levelBytesLocked(lvl) > t.levelLimit(lvl) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCompactionLocked assembles and reserves a job at level, or returns nil
+// when every candidate conflicts with reserved files. For L1+ it rotates
+// through the key space via compactPtr and expands the seed file to the full
+// same-level overlap set (defensive fixpoint — levels are disjoint by
+// invariant) before selecting every overlapping next-level file.
+func (t *Tree) buildCompactionLocked(level int) *compaction {
+	if level == 0 {
+		inputs := append([]*FileMeta(nil), t.levels[0]...)
+		if t.anyReservedLocked(inputs) {
+			return nil
+		}
+		overlap := t.overlapping(1, inputs)
+		if t.anyReservedLocked(overlap) {
+			return nil
+		}
+		return t.reserveLocked(&compaction{level: 0, inputs: inputs, overlap: overlap})
+	}
+	files := t.levels[level]
+	start := 0
+	if ptr := t.compactPtr[level]; ptr != nil {
+		start = sort.Search(len(files), func(i int) bool {
+			return bytes.Compare(files[i].Smallest.UserKey(), ptr) > 0
+		})
+	}
+	for off := 0; off < len(files); off++ {
+		seed := files[(start+off)%len(files)]
+		if t.compacting[seed.Num] {
+			continue
+		}
+		inputs := []*FileMeta{seed}
+		for {
+			grown := t.overlapping(level, inputs)
+			if len(grown) <= len(inputs) {
+				break
+			}
+			inputs = grown
+		}
+		if t.anyReservedLocked(inputs) {
+			continue
+		}
+		overlap := t.overlapping(level+1, inputs)
+		if t.anyReservedLocked(overlap) {
+			continue
+		}
+		hi := inputs[0].Largest.UserKey()
+		for _, f := range inputs[1:] {
+			if bytes.Compare(f.Largest.UserKey(), hi) > 0 {
+				hi = f.Largest.UserKey()
+			}
+		}
+		t.compactPtr[level] = append([]byte(nil), hi...)
+		return t.reserveLocked(&compaction{level: level, inputs: inputs, overlap: overlap})
+	}
+	return nil
+}
+
+func (t *Tree) anyReservedLocked(files []*FileMeta) bool {
+	for _, f := range files {
+		if t.compacting[f.Num] {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tree) reserveLocked(c *compaction) *compaction {
+	for _, f := range c.inputs {
+		t.compacting[f.Num] = true
+	}
+	for _, f := range c.overlap {
+		t.compacting[f.Num] = true
+	}
+	return c
+}
+
+func (t *Tree) releaseLocked(c *compaction) {
+	for _, f := range c.inputs {
+		delete(t.compacting, f.Num)
+	}
+	for _, f := range c.overlap {
+		delete(t.compacting, f.Num)
+	}
 }
 
 func (t *Tree) levelBytesLocked(level int) int64 {
@@ -443,20 +672,40 @@ func (t *Tree) levelBytesLocked(level int) int64 {
 }
 
 // overlapping returns the files at level whose user-key ranges intersect any
-// input's range.
+// input's range, with range-tombstone spans widening the inputs' range (a
+// tombstone's reach can extend past its file's largest entry key).
 func (t *Tree) overlapping(level int, inputs []*FileMeta) []*FileMeta {
-	var lo, hi []byte
-	for _, f := range inputs {
+	lo, hi := keyRange(inputs)
+	return t.overlappingRange(level, lo, hi)
+}
+
+// keyRange returns the user-key span covered by files, including their range
+// tombstones' [Start, End) spans (End is treated as inclusive — conservative).
+func keyRange(files []*FileMeta) (lo, hi []byte) {
+	for _, f := range files {
 		if lo == nil || bytes.Compare(f.Smallest.UserKey(), lo) < 0 {
 			lo = f.Smallest.UserKey()
 		}
 		if hi == nil || bytes.Compare(f.Largest.UserKey(), hi) > 0 {
 			hi = f.Largest.UserKey()
 		}
+		for _, rd := range f.RangeDels {
+			if bytes.Compare(rd.Start, lo) < 0 {
+				lo = rd.Start
+			}
+			if bytes.Compare(rd.End, hi) > 0 {
+				hi = rd.End
+			}
+		}
 	}
+	return lo, hi
+}
+
+func (t *Tree) overlappingRange(level int, lo, hi []byte) []*FileMeta {
 	var out []*FileMeta
 	for _, f := range t.levels[level] {
-		if bytes.Compare(f.Largest.UserKey(), lo) < 0 || bytes.Compare(f.Smallest.UserKey(), hi) > 0 {
+		flo, fhi := keyRange([]*FileMeta{f})
+		if bytes.Compare(fhi, lo) < 0 || bytes.Compare(flo, hi) > 0 {
 			continue
 		}
 		out = append(out, f)
@@ -465,7 +714,8 @@ func (t *Tree) overlapping(level int, inputs []*FileMeta) []*FileMeta {
 }
 
 // MaybeCompact runs compactions until every level is within limits. It is
-// charged to the calling (background) thread.
+// charged to the calling (background) thread. It cooperates with a running
+// scheduler through the same reservation set, so the two never double-claim.
 func (t *Tree) MaybeCompact(th *hw.Thread) error {
 	for {
 		t.mu.Lock()
@@ -474,71 +724,103 @@ func (t *Tree) MaybeCompact(th *hw.Thread) error {
 		if c == nil {
 			return nil
 		}
-		if err := t.compact(th, c); err != nil {
+		if _, err := t.compact(th, c); err != nil {
 			return err
 		}
 	}
 }
 
-func (t *Tree) compact(th *hw.Thread, c *compaction) error {
+// compactResult summarizes one finished job for the scheduler's trace and
+// write-amplification ledger.
+type compactResult struct {
+	Level    int
+	OutLevel int
+	BytesIn  int64
+	BytesOut int64
+	Inputs   int
+	Outputs  int
+}
+
+func (t *Tree) compact(th *hw.Thread, c *compaction) (compactResult, error) {
+	res := compactResult{Level: c.level, OutLevel: c.level + 1}
 	all := append(append([]*FileMeta(nil), c.inputs...), c.overlap...)
+	// The picker reserved every file in all; release on every exit. Releases
+	// happen under t.mu together with (or after) the version-edit apply, so a
+	// concurrent picker never sees a file both unreserved and already gone.
+	fail := func(err error) (compactResult, error) {
+		t.mu.Lock()
+		t.releaseLocked(c)
+		t.mu.Unlock()
+		return res, err
+	}
 	// Newest-first ordering for the merge tie-break: higher file numbers are
 	// newer at L0; between levels, the upper level is newer.
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Num > all[j].Num })
 	its := make([]Iterator, 0, len(all))
+	var tombs []RangeDel
 	for _, f := range all {
+		tombs = append(tombs, f.RangeDels...)
 		r, err := t.reader(th, f.Num)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		ti, err := r.NewIter(th)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		its = append(its, ti)
 	}
 	merged := NewMergingIterator(its...)
 	merged.SeekToFirst()
 
-	// Tombstones can be dropped when no level below the output overlaps the
-	// compaction's key range.
+	// Point tombstones can be dropped when no level below the output overlaps
+	// the compaction's key range (range-tombstone spans included); range
+	// tombstones are always retained — see writeTables.
 	outLevel := c.level + 1
+	lo, hi := keyRange(all)
 	t.mu.Lock()
 	dropTombs := true
 	for lvl := outLevel + 1; lvl < t.opts.MaxLevels; lvl++ {
-		if len(t.overlapping(lvl, all)) > 0 {
+		if len(t.overlappingRange(lvl, lo, hi)) > 0 {
 			dropTombs = false
 			break
 		}
 	}
 	t.mu.Unlock()
 
-	metas, err := t.writeTables(th, merged, true, dropTombs)
+	metas, err := t.writeTables(th, merged, true, dropTombs, tombs)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 
 	t.mu.Lock()
 	e := &versionEdit{}
-	var bytesIn int64
+	var bytesIn, bytesOut int64
 	for _, f := range c.inputs {
 		e.deleted = append(e.deleted, deletedFile{level: c.level, num: f.Num})
 		bytesIn += int64(f.Size)
+		t.compactIn[c.level] += int64(f.Size)
 	}
 	for _, f := range c.overlap {
 		e.deleted = append(e.deleted, deletedFile{level: outLevel, num: f.Num})
 		bytesIn += int64(f.Size)
+		t.compactIn[outLevel] += int64(f.Size)
 	}
 	for _, mmeta := range metas {
 		e.added = append(e.added, addedFile{level: outLevel, meta: mmeta})
+		bytesOut += int64(mmeta.Size)
 	}
+	t.compactOut[outLevel] += bytesOut
 	err = t.logAndApply(th, e)
 	t.stats.Compactions++
 	t.stats.CompactedBytes += bytesIn
 	t.stats.TablesCompacted += int64(len(all))
+	t.releaseLocked(c)
 	t.mu.Unlock()
+	res.BytesIn, res.BytesOut = bytesIn, bytesOut
+	res.Inputs, res.Outputs = len(all), len(metas)
 	if err != nil {
-		return err
+		return res, err
 	}
 	// Retire the inputs with a grace period instead of deleting them now.
 	t.graveMu.Lock()
@@ -556,10 +838,10 @@ func (t *Tree) compact(th *hw.Thread, c *compaction) error {
 	for _, num := range toDelete {
 		t.dropReader(num)
 		if err := t.fs.Delete(th, tableName(num)); err != nil {
-			return err
+			return res, err
 		}
 	}
-	return nil
+	return res, nil
 }
 
 // Get looks up ukey at snapshot seq. It returns the freshest visible value
@@ -574,8 +856,61 @@ func (t *Tree) Get(th *hw.Thread, ukey []byte, seq uint64) (value []byte, foundS
 		if err == pmemfs.ErrNotFound && attempt < 5 {
 			continue
 		}
+		break
+	}
+	if err != nil {
 		return
 	}
+	// A range tombstone newer than the freshest point version hides it.
+	// Coverage is strict on sequence, so an equal-seq point write survives.
+	if cover := t.RangeCoverSeq(ukey, seq); cover > 0 && (!(found || deleted) || cover > foundSeq) {
+		return nil, cover, false, true, nil
+	}
+	return
+}
+
+// RangeCoverSeq returns the highest sequence of any range tombstone visible
+// at snapshot seq that spans ukey, or 0 when none does. Callers holding
+// candidates from other layers (memtables) compare their sequence against it.
+func (t *Tree) RangeCoverSeq(ukey []byte, seq uint64) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rangeDelCount == 0 {
+		return 0
+	}
+	var best uint64
+	for _, files := range t.levels {
+		for _, f := range files {
+			for _, rd := range f.RangeDels {
+				if rd.Seq > best && rd.Seq <= seq &&
+					bytes.Compare(ukey, rd.Start) >= 0 && bytes.Compare(ukey, rd.End) < 0 {
+					best = rd.Seq
+				}
+			}
+		}
+	}
+	return best
+}
+
+// RangeTombstones returns every range tombstone visible at snapshot seq —
+// scan paths aggregate these with the memory-resident tombstone list.
+func (t *Tree) RangeTombstones(seq uint64) []RangeDel {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rangeDelCount == 0 {
+		return nil
+	}
+	var out []RangeDel
+	for _, files := range t.levels {
+		for _, f := range files {
+			for _, rd := range f.RangeDels {
+				if rd.Seq <= seq {
+					out = append(out, rd)
+				}
+			}
+		}
+	}
+	return out
 }
 
 func (t *Tree) getOnce(th *hw.Thread, ukey []byte, seq uint64) (value []byte, foundSeq uint64, found, deleted bool, err error) {
@@ -688,6 +1023,37 @@ func (t *Tree) TableIterator(th *hw.Thread, num uint64) (Iterator, error) {
 		return nil, err
 	}
 	return r.NewIter(th)
+}
+
+// CompactionDebt sizes the reorganization backlog in bytes: every byte of L0
+// once the trigger is reached, plus each level's overage beyond its limit.
+// The engine's flow controller consumes it as the storage-pressure signal —
+// it tracks what the compaction scheduler still owes rather than a raw file
+// count.
+func (t *Tree) CompactionDebt() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.opts.SingleLevel {
+		return 0
+	}
+	var debt int64
+	if len(t.levels[0]) >= t.opts.L0CompactionTrigger {
+		debt += t.levelBytesLocked(0)
+	}
+	for lvl := 1; lvl < t.opts.MaxLevels-1; lvl++ {
+		if over := t.levelBytesLocked(lvl) - t.levelLimit(lvl); over > 0 {
+			debt += over
+		}
+	}
+	return uint64(debt)
+}
+
+// CompactionLevelStats returns per-level write-amplification counters: bytes
+// compactions consumed from each level and bytes they wrote into it.
+func (t *Tree) CompactionLevelStats() (in, out []int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]int64(nil), t.compactIn...), append([]int64(nil), t.compactOut...)
 }
 
 // Files returns a snapshot of the file metadata per level (for tests,

@@ -46,10 +46,12 @@ const (
 	OpBatch
 	OpFlush
 	OpRecovery
+	OpDeleteRange
+	OpIngest
 	NumOps
 )
 
-var opNames = [NumOps]string{"put", "get", "delete", "scan", "rmw", "batch", "flush", "recovery"}
+var opNames = [NumOps]string{"put", "get", "delete", "scan", "rmw", "batch", "flush", "recovery", "delete_range", "ingest"}
 
 // String returns the op's short name.
 func (o Op) String() string {

@@ -263,6 +263,16 @@ func (r *Reader) Get(th *hw.Thread, ikey util.InternalKey) ([]byte, uint64, util
 		return nil, 0, 0, false, it.Err()
 	}
 	found := util.InternalKey(it.Key())
+	// Range-tombstone entries are not point versions: their value is the
+	// span's end key, never a user value. Step past any that share the
+	// sought user key; coverage is applied by the tree from file metadata.
+	for found.Kind() == util.KindRangeDel && string(found.UserKey()) == string(ikey.UserKey()) {
+		it.Next()
+		if !it.Valid() {
+			return nil, 0, 0, false, it.Err()
+		}
+		found = util.InternalKey(it.Key())
+	}
 	if string(found.UserKey()) != string(ikey.UserKey()) {
 		return nil, 0, 0, false, nil
 	}

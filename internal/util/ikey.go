@@ -15,6 +15,13 @@ const (
 	KindDelete ValueKind = 0
 	// KindValue marks a live value.
 	KindValue ValueKind = 1
+	// KindRangeDel marks a range tombstone: the internal key carries the
+	// start user key, the entry's value holds the exclusive end key. The
+	// trailer value 2 makes a range tombstone sort *before* a point write at
+	// the same sequence (trailers order descending), but coverage is decided
+	// by sequence alone: a range tombstone hides versions with a strictly
+	// smaller sequence, so an equal-seq point write survives.
+	KindRangeDel ValueKind = 2
 )
 
 // MaxSequence is the largest representable sequence number (56 bits, as in
