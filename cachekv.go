@@ -152,6 +152,18 @@ type Options struct {
 	// TraceCap bounds the lifecycle event ring (default
 	// obs.DefaultTraceCap). Ignored when DisableObs is set.
 	TraceCap int
+
+	// SlowOpThreshold controls slow-op dossier capture (virtual ns). Capture
+	// is always on while observability is: 0 (the default) uses the adaptive
+	// policy — an op is slow when its latency exceeds its own op type's
+	// rolling p99 × 8, once enough samples exist — a positive value is a
+	// static threshold applied to every op type, and a negative value
+	// disables capture. Sub-threshold ops cost one atomic load and allocate
+	// nothing. Ignored when DisableObs is set.
+	SlowOpThreshold int64
+	// SlowOpCapacity bounds the retained dossier ring (default 64; the
+	// oldest dossier is evicted, and counted, when it wraps).
+	SlowOpCapacity int
 }
 
 // validate rejects nonsense configurations with a descriptive error rather
@@ -177,6 +189,7 @@ func (o Options) validate() error {
 		{"Shards", o.Shards},
 		{"GroupCommitMaxOps", o.GroupCommitMaxOps},
 		{"CompactionWorkers", o.CompactionWorkers},
+		{"SlowOpCapacity", o.SlowOpCapacity},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("cachekv: Options.%s must not be negative (got %d); use 0 for the default", f.name, f.v)
@@ -229,6 +242,13 @@ func Open(opts Options) (*DB, error) {
 			cap = obs.DefaultTraceCap
 		}
 		trace = obs.NewTrace(cap)
+		if opts.SlowOpThreshold >= 0 {
+			pol := obs.SlowOpPolicy{Capacity: opts.SlowOpCapacity}
+			if opts.SlowOpThreshold > 0 {
+				pol.StaticNs = opts.SlowOpThreshold
+			}
+			col.EnableSlowOps(pol, trace)
+		}
 	}
 	return openOn(m, opts, col, trace)
 }
@@ -238,6 +258,11 @@ func openOn(m *hw.Machine, opts Options, col *obs.Collector, trace *obs.Trace) (
 	inner, err := openEngine(m, opts, th, trace)
 	if err != nil {
 		return nil, err
+	}
+	// (Re)bind the dossier flow-state context to the engine instance this open
+	// produced — after SimulateCrash the collector outlives the old engine.
+	if fl, ok := inner.(interface{ FlowState() core.FlowState }); ok {
+		col.SetSlowOpContext(func() string { return fl.FlowState().String() })
 	}
 	return &DB{machine: m, inner: inner, opts: opts, col: col, trace: trace}, nil
 }
@@ -553,6 +578,10 @@ func (db *DB) Trace() *obs.Trace { return db.trace }
 // Collector returns the per-op attribution collector (nil when
 // Options.DisableObs).
 func (db *DB) Collector() *obs.Collector { return db.col }
+
+// SlowOps returns the retained slow-op dossiers, oldest first (nil when
+// Options.DisableObs or capture is disabled). See Options.SlowOpThreshold.
+func (db *DB) SlowOps() []obs.Dossier { return db.col.SlowOps() }
 
 // Session is a simulated thread interacting with the store. Operations
 // advance its virtual clock by the modelled hardware cost.

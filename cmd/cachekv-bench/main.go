@@ -10,12 +10,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"cachekv/internal/bench"
+	"cachekv/internal/hw"
 	"cachekv/internal/hw/sim"
 	"cachekv/internal/obs"
 )
@@ -40,6 +42,11 @@ func main() {
 	shardOut := flag.String("shard-out", "", "run the shard-scaling suite (YCSB-A/C, 1→32 threads, baseline vs Shards=threads) and write JSON here (ignores -benchmarks)")
 	compactOut := flag.String("compact-out", "", "run the serial-vs-parallel compaction suite (sustained YCSB-A, inline baseline vs background scheduler) and write JSON here (ignores -benchmarks)")
 	compactWorkers := flag.String("compact-workers", "", "comma-separated CompactionWorkers list for -compact-out (default 0,2,4; 0 = inline baseline)")
+	profileOut := flag.String("profile-out", "", "write the virtual-time sampling profile (folded-stack text) here")
+	profileStep := flag.Int64("profile-step", hw.DefaultProfileStep, "profiler sampling period in virtual ns")
+	profileCheck := flag.Bool("profile-check", false, "verify profiler sample-conservation invariants after the run")
+	slowopNs := flag.Int64("slowop-ns", 0, "arm slow-op dossier capture with this static threshold (virtual ns)")
+	slowopsOut := flag.String("slowops-out", "", "write captured slow-op dossiers (JSONL) here (requires -slowop-ns)")
 	flag.Parse()
 
 	if *compactOut != "" {
@@ -138,10 +145,13 @@ func main() {
 	cfg.GroupCommitWindow = *groupCommit
 	cfg.GroupCommitMaxOps = *groupCommitOps
 	var tr *obs.Trace
-	if *obsOut != "" {
+	if *obsOut != "" || *slowopNs > 0 {
 		cfg.Obs = true
 		tr = obs.NewTrace(obs.DefaultTraceCap)
 		cfg.Trace = tr
+	}
+	if *profileOut != "" || *profileCheck {
+		cfg.ProfileStepNs = *profileStep
 	}
 	m := cfg.NewMachine()
 	th := m.NewThread(0)
@@ -166,20 +176,39 @@ func main() {
 	fmt.Printf("threads:    %d\n", *threads)
 	fmt.Println(strings.Repeat("-", 52))
 
+	needCol := *obsOut != "" || *slowopNs > 0
+	var allDossiers []obs.Dossier
 	for _, name := range strings.Split(*benchmarks, ",") {
 		name = strings.TrimSpace(name)
-		w, ok := makeWorkload(name, *num, *threads, *valueSize)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
-			os.Exit(1)
-		}
-		if *obsOut != "" {
+		if needCol {
 			runner.Col = obs.NewCollector() // fresh per phase: per-phase op stats
+			if *slowopNs > 0 {
+				runner.Col.EnableSlowOps(obs.SlowOpPolicy{StaticNs: *slowopNs}, tr)
+			}
 		}
-		res, err := runner.Run(w)
+		var res bench.Result
+		var err error
+		if name == "ingest" {
+			// Bulk-load through the atomic SST ingest path, 128 entries/batch.
+			batches := int(*num) / 128
+			if batches < 1 {
+				batches = 1
+			}
+			res, err = runner.RunIngest(th, batches, 128, *valueSize)
+		} else {
+			w, ok := makeWorkload(name, *num, *threads, *valueSize)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+				os.Exit(1)
+			}
+			res, err = runner.Run(w)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if needCol {
+			allDossiers = append(allDossiers, runner.Col.SlowOps()...)
 		}
 		if *obsOut != "" {
 			run := bench.BuildRunReport(res, runner, tr, false)
@@ -217,9 +246,62 @@ func main() {
 		}
 		fmt.Printf("attribution report       : %s (%d phases)\n", *obsOut, len(report.Runs))
 	}
+	if *slowopNs > 0 {
+		fmt.Printf("slow-op dossiers         : %d captured (threshold %d ns)\n", len(allDossiers), *slowopNs)
+		if bad := obs.VerifySlowOps(allDossiers); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintf(os.Stderr, "slowop verify: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		if *slowopsOut != "" {
+			f, err := os.Create(*slowopsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			for _, d := range allDossiers {
+				if err := enc.Encode(d); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
 	if err := db.Close(th); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *profileCheck {
+		if bad := obs.VerifyProfiles(m); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintf(os.Stderr, "profile verify: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("profile verify           : ok")
+	}
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		entries := obs.Profiles(m)
+		if err := obs.WriteFolded(f, entries); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile (folded stacks)  : %s (%d rows)\n", *profileOut, len(entries))
 	}
 }
 
@@ -356,6 +438,9 @@ func makeWorkload(name string, num int64, threads, valueSize int) (bench.Workloa
 		w.Keys, w.Mix = bench.NewZipfian(num), bench.ReadOnly
 	case "readwrite":
 		w.Keys, w.Mix = bench.UniformKeys{N: num}, bench.Mix{PutFrac: 0.5}
+	case "rangedel":
+		// Write-heavy mix thinned by narrow range tombstones.
+		w.Keys, w.Mix = bench.UniformKeys{N: num}, bench.Mix{PutFrac: 0.6, DeleteRangeFrac: 0.1}
 	default:
 		return w, false
 	}

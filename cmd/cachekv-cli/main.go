@@ -16,6 +16,13 @@
 // the full metrics registry:
 //
 //	$ cachekv-cli stats [-json] [-engine cachekv] [-ops 2000]
+//
+// The slowops subcommand runs the same smoke workload with slow-op dossier
+// capture armed and prints the forensic record of each outlier operation —
+// where its time went per layer, its wait/busy split, and the trace events
+// (flush, seal, compaction, stall) that overlapped it:
+//
+//	$ cachekv-cli slowops [-json] [-threshold-ns 20000] [-ops 2000]
 package main
 
 import (
@@ -28,11 +35,15 @@ import (
 	"strings"
 
 	"cachekv"
+	"cachekv/internal/obs"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		os.Exit(statsCmd(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "slowops" {
+		os.Exit(slowopsCmd(os.Args[2:]))
 	}
 	db, err := cachekv.Open(cachekv.Options{PMemMB: 1024})
 	if err != nil {
@@ -54,7 +65,7 @@ func main() {
 		}
 		switch fields[0] {
 		case "help":
-			fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> [n] | flush | crash | stats | metrics | trace [n] | quit")
+			fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> [n] | flush | crash | stats | metrics | trace [n] | slowops | quit")
 		case "put":
 			if len(fields) < 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -153,6 +164,15 @@ func main() {
 				b, _ := json.Marshal(ev)
 				fmt.Println(string(b))
 			}
+		case "slowops":
+			ds := db.SlowOps()
+			if len(ds) == 0 {
+				fmt.Println("(no slow ops captured)")
+				continue
+			}
+			for _, d := range ds {
+				printDossier(d)
+			}
 		case "quit", "exit":
 			db.Close()
 			return
@@ -211,4 +231,99 @@ func statsCmd(args []string) int {
 	}
 	snap.WriteText(os.Stdout)
 	return 0
+}
+
+// slowopsCmd runs the smoke workload with dossier capture armed and prints
+// every captured slow op: threshold crossing, per-layer time, wait/busy split,
+// flow-control state, and the trace events that overlapped its window.
+func slowopsCmd(args []string) int {
+	fs := flag.NewFlagSet("slowops", flag.ExitOnError)
+	engine := fs.String("engine", "cachekv", "engine to exercise")
+	ops := fs.Int("ops", 2000, "smoke workload size")
+	thresholdNs := fs.Int64("threshold-ns", 0, "static capture threshold in virtual ns (0 = adaptive p99*8)")
+	workers := fs.Int("compaction-workers", 0, "background compaction workers (0 = legacy inline compaction)")
+	asJSON := fs.Bool("json", false, "emit dossiers as JSONL instead of text")
+	fs.Parse(args)
+
+	db, err := cachekv.Open(cachekv.Options{
+		PMemMB:            1024,
+		Engine:            cachekv.Engine(*engine),
+		CompactionWorkers: *workers,
+		SlowOpThreshold:   *thresholdNs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer db.Close()
+	s := db.Session(0)
+	var key [16]byte
+	val := []byte(strings.Repeat("v", 64))
+	for i := 0; i < *ops; i++ {
+		copy(key[:], fmt.Sprintf("key%013d", i%(*ops/2+1)))
+		if i%4 == 3 {
+			if _, err := s.Get(key[:]); err != nil && err != cachekv.ErrNotFound {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		} else if err := s.Put(key[:], val); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if err := db.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ds := db.SlowOps()
+	if bad := obs.VerifySlowOps(ds); len(bad) > 0 {
+		for _, v := range bad {
+			fmt.Fprintf(os.Stderr, "slowop verify: %s\n", v)
+		}
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range ds {
+			if err := enc.Encode(d); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		return 0
+	}
+	if len(ds) == 0 {
+		fmt.Println("no slow ops captured (try a lower -threshold-ns)")
+		return 0
+	}
+	fmt.Printf("%d slow op(s) captured:\n", len(ds))
+	for _, d := range ds {
+		printDossier(d)
+	}
+	return 0
+}
+
+// printDossier renders one dossier for humans.
+func printDossier(d obs.Dossier) {
+	mode := "static"
+	if d.Adaptive {
+		mode = "adaptive"
+	}
+	fmt.Printf("#%d %-6s on %s (core %d): %d ns  [threshold %d ns, %s]\n",
+		d.Seq, d.Op, d.Thread, d.Core, d.TotalNs, d.ThresholdNs, mode)
+	fmt.Printf("   window v[%d..%d]  wait %d ns / busy %d ns", d.StartVNs, d.EndVNs, d.WaitNs, d.BusyNs)
+	if d.FlowState != "" {
+		fmt.Printf("  flow=%s", d.FlowState)
+	}
+	fmt.Println()
+	for _, l := range d.Layers {
+		fmt.Printf("   %-10s %10d ns\n", l.Layer, l.Ns)
+	}
+	for _, ev := range d.Events {
+		b, _ := json.Marshal(ev.Attrs)
+		fmt.Printf("   event @%-12d %-16s %s\n", ev.VNs, ev.Type, b)
+	}
+	if d.EventsTruncated {
+		fmt.Println("   (event window truncated)")
+	}
 }

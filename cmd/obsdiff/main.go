@@ -1,0 +1,98 @@
+// Command obsdiff is the perf-regression gate: it structurally diffs two
+// cachekv.obs/v1 reports (or any BENCH_*.json with embedded run reports),
+// prints a human-readable delta table — throughput, per-op mean and tail
+// latency, per-layer attribution, flow-control stall dwell — and exits
+// non-zero when any metric regressed beyond its tolerance.
+//
+// Usage:
+//
+//	obsdiff [flags] OLD.json NEW.json
+//
+//	-tol 0.15        default relative tolerance (latency/throughput)
+//	-tol-tail 0.25   p99 / p99.9 tolerance
+//	-tol-layer 0.35  per-(op, layer) ns/op tolerance
+//	-tol-dwell 0.15  stall dwell fraction tolerance
+//	-verify          also check both reports' internal invariants
+//	-json            emit the delta list as JSON instead of a table
+//
+// Runs pair up by engine/workload; runs present on only one side are listed
+// but never fail the gate (a new benchmark must not block its own PR). A
+// metric missing on either side — e.g. p99.9 in a report predating the field
+// — is skipped for the same reason.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cachekv/internal/obs"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0.15, "default relative tolerance (mean ns/op up, Kops/s down)")
+	tolTail := flag.Float64("tol-tail", 0.25, "tolerance for p99/p99.9 latency")
+	tolLayer := flag.Float64("tol-layer", 0.35, "tolerance for per-(op, layer) ns/op")
+	tolDwell := flag.Float64("tol-dwell", 0.15, "tolerance for flow-control stall dwell fraction")
+	verify := flag.Bool("verify", false, "also verify both reports' internal invariants")
+	asJSON := flag.Bool("json", false, "emit deltas as JSON")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: obsdiff [flags] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRuns := load(flag.Arg(0), *verify)
+	newRuns := load(flag.Arg(1), *verify)
+
+	res := obs.DiffRuns(oldRuns, newRuns, obs.DiffTolerances{
+		NsPerOp:    *tol,
+		Throughput: *tol,
+		Tail:       *tolTail,
+		Layer:      *tolLayer,
+		Dwell:      *tolDwell,
+	})
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("obsdiff %s -> %s\n\n", flag.Arg(0), flag.Arg(1))
+		res.WriteTable(os.Stdout)
+	}
+	if len(res.Regressions()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// load reads path and extracts its run reports, exiting on failure.
+func load(path string, verify bool) []obs.RunReport {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	runs, shape, err := obs.ExtractRuns(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "obsdiff: %s: %d run(s) [%s]\n", path, len(runs), shape)
+	if verify {
+		bad := 0
+		for i := range runs {
+			for _, v := range runs[i].Verify() {
+				fmt.Fprintf(os.Stderr, "obsdiff: %s: run %d (%s/%s): %s\n",
+					path, i, runs[i].Engine, runs[i].Workload, v)
+				bad++
+			}
+		}
+		if bad > 0 {
+			os.Exit(2)
+		}
+	}
+	return runs
+}

@@ -224,6 +224,15 @@ func runLeg(c config, flowOn bool) (legReport, error) {
 	// Overload phase: YCSB-A (50/50 zipfian update/read) with per-write
 	// deadlines on the flow leg, legacy blocking writes on the baseline.
 	col := obs.NewCollector()
+	// Arm slow-op forensics well below the deadline: a delayed (paced) write
+	// waits a large fraction of its deadline, so every throttled op leaves a
+	// dossier naming the stall it hit. Lookback pulls in the flow-state flip
+	// and flush/compaction activity just before the op started.
+	col.EnableSlowOps(obs.SlowOpPolicy{
+		StaticNs:   c.DeadlineNs / 4,
+		LookbackNs: c.DeadlineNs,
+	}, tr)
+	col.SetSlowOpContext(func() string { return db.FlowState().String() })
 	zipf := bench.NewZipfian(c.Records)
 	deadline := c.DeadlineNs
 	if !flowOn {
@@ -366,8 +375,35 @@ func runLeg(c config, flowOn bool) (legReport, error) {
 		leg.Run.Layers = obs.LayersFromTally(t.Snapshot())
 	}
 	leg.Run.Metrics = bench.BuildRegistry(m, db, tr).Gather()
+	leg.Run.SlowOps = col.SlowOps()
+	leg.Run.SlowOpsDropped = col.SlowOpsDropped()
 	leg.VerifyViolations = leg.Run.Verify()
 	return leg, nil
+}
+
+// causeEvents are the trace event types that name the subsystem responsible
+// for a stall: flow-control admission decisions, flush-pipeline pressure, and
+// compaction jobs.
+var causeEvents = map[string]bool{
+	"write_stall": true, "write_delay": true, "write_stop_wait": true,
+	"flow_state": true, "flush_stall": true, "flush_start": true, "flush_end": true,
+	"spill_start": true, "spill_end": true, "memtable_seal": true,
+	"compact_start": true, "compact_end": true, "lsm_compaction": true,
+	"skiplist_compaction": true,
+}
+
+// dossierNamesCause reports whether at least one dossier's event window
+// contains an event identifying the flow-control stall or compaction/flush job
+// the slow op collided with — the point of the forensics.
+func dossierNamesCause(ds []obs.Dossier) bool {
+	for _, d := range ds {
+		for _, ev := range d.Events {
+			if causeEvents[ev.Type] {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // runCrashLeg overloads a fresh protected engine, crashes the machine while
@@ -624,9 +660,10 @@ func main() {
 		fail(err)
 	}
 	rep.Legs = append(rep.Legs, flow)
-	fmt.Printf("flow:     acked=%d stalled=%d delayed=%d p99.9=%.0fns max=%dns peak=%dB\n",
+	fmt.Printf("flow:     acked=%d stalled=%d delayed=%d p99.9=%.0fns max=%dns peak=%dB dossiers=%d\n",
 		flow.AckedWrites, flow.StalledWrites, flow.Flow.DelayedWrites,
-		flow.WriteLatency.P999, flow.WriteLatency.Max, flow.PeakFootprint)
+		flow.WriteLatency.P999, flow.WriteLatency.Max, flow.PeakFootprint,
+		len(flow.Run.SlowOps))
 
 	var base legReport
 	if *baseline {
@@ -659,6 +696,13 @@ func main() {
 	if len(flow.VerifyViolations) > 0 {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(
 			"flow leg obs report failed Verify: %s", flow.VerifyViolations[0]))
+	}
+	if len(flow.Run.SlowOps) == 0 {
+		rep.Violations = append(rep.Violations,
+			"overload produced no slow-op dossiers: capture threshold too high or throttling never engaged")
+	} else if !dossierNamesCause(flow.Run.SlowOps) {
+		rep.Violations = append(rep.Violations,
+			"no slow-op dossier's event window names the flow-control stall or compaction job behind it")
 	}
 	if *baseline && !*smoke {
 		// Divergence needs a long enough run for the baseline's unbounded

@@ -34,6 +34,7 @@ func main() {
 	shards := flag.Int("shards", 0, "CacheKV engine shards (0 or 1 = classic single engine)")
 	compactionWorkers := flag.Int("compaction-workers", 0, "CacheKV background compaction workers (0 = legacy inline compaction)")
 	groupCommit := flag.Int64("group-commit", 0, "group-commit window in virtual ns (0 = default 10µs, negative disables coalescing; Shards > 1 only)")
+	slowopNs := flag.Int64("slowop-ns", 0, "arm slow-op dossier capture with this static threshold (virtual ns; 0 = off); dossiers land in the report's slow_ops")
 	flag.Parse()
 	withObs := *reportPath != "" || *check
 
@@ -89,6 +90,9 @@ func main() {
 		r := bench.NewRunner(m, db)
 		if withObs {
 			r.Col = obs.NewCollector()
+			if *slowopNs > 0 {
+				r.Col.EnableSlowOps(obs.SlowOpPolicy{StaticNs: *slowopNs}, tr)
+			}
 		}
 		res, err := bench.RunYCSB(r, spec, *records, *ops, *threads, *valueSize)
 		if err != nil {

@@ -103,6 +103,10 @@ type EngineConfig struct {
 	Obs bool
 	// Trace, when non-nil, receives engine lifecycle events.
 	Trace *obs.Trace
+	// ProfileStepNs > 0 enables the continuous virtual-time sampling profiler
+	// with that period (NewMachine calls EnableProfiler before any thread
+	// exists). Like Obs, sampling adds zero virtual time.
+	ProfileStepNs int64
 }
 
 // DefaultEngineConfig sizes the platform for experiment-scale runs.
@@ -126,6 +130,9 @@ func (c EngineConfig) NewMachine() *hw.Machine {
 	m := hw.NewMachine(cfg)
 	if c.Obs {
 		m.EnableObs()
+	}
+	if c.ProfileStepNs > 0 {
+		m.EnableProfiler(c.ProfileStepNs)
 	}
 	return m
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"cachekv/internal/obs"
@@ -13,6 +15,13 @@ import (
 // run), so two calls with the same arguments replay identically and the
 // zero-overhead comparison below can demand exact equality.
 func runObsYCSBC(t *testing.T, withObs bool) (Result, *Runner, *obs.Trace) {
+	return runObsYCSBCSlowOps(t, withObs, 0)
+}
+
+// runObsYCSBCSlowOps is runObsYCSBC with slow-op capture armed at a static
+// threshold (0 = disarmed) for the measured phase. Requires withObs when
+// slowopNs > 0.
+func runObsYCSBCSlowOps(t *testing.T, withObs bool, slowopNs int64) (Result, *Runner, *obs.Trace) {
 	t.Helper()
 	const (
 		records   = 2000
@@ -37,6 +46,11 @@ func runObsYCSBC(t *testing.T, withObs bool) (Result, *Runner, *obs.Trace) {
 	r := NewRunner(m, db)
 	if withObs {
 		r.Col = obs.NewCollector()
+		if slowopNs > 0 {
+			r.Col.EnableSlowOps(obs.SlowOpPolicy{StaticNs: slowopNs}, tr)
+		}
+	} else if slowopNs > 0 {
+		t.Fatal("slow-op capture requires withObs")
 	}
 	// Load and measure as separate phases with a settle between them: the load
 	// leaves background work (spill plus its towed compaction) in flight, and
@@ -132,6 +146,65 @@ func TestObsZeroVirtualOverhead(t *testing.T) {
 	}
 	if on.Ops != off.Ops {
 		t.Fatalf("op counts differ: on=%d off=%d", on.Ops, off.Ops)
+	}
+}
+
+// TestSlowOpCaptureZeroVirtualOverhead sharpens the zero-overhead property for
+// the slow-op path: a 1 ns static threshold forces a capture attempt on every
+// measured op, and even then the virtual schedule must be bit-identical to a
+// capture-off run — dossier recording reads clocks, it never advances them.
+func TestSlowOpCaptureZeroVirtualOverhead(t *testing.T) {
+	armed, r, _ := runObsYCSBCSlowOps(t, true, 1)
+	plain, _, _ := runObsYCSBC(t, true)
+	if armed.ElapsedNs != plain.ElapsedNs {
+		t.Fatalf("slow-op capture changed virtual elapsed time: armed=%d plain=%d",
+			armed.ElapsedNs, plain.ElapsedNs)
+	}
+	if armed.KopsPerSec != plain.KopsPerSec {
+		t.Fatalf("slow-op capture changed throughput: armed=%v plain=%v",
+			armed.KopsPerSec, plain.KopsPerSec)
+	}
+	if armed.Ops != plain.Ops {
+		t.Fatalf("op counts differ: armed=%d plain=%d", armed.Ops, plain.Ops)
+	}
+	// The check is only meaningful if captures actually fired.
+	if len(r.Col.SlowOps()) == 0 {
+		t.Fatal("1 ns threshold captured nothing — overhead check is vacuous")
+	}
+}
+
+// TestSlowOpDossierDeterminism runs the same capture-armed single-thread
+// workload twice and demands byte-identical dossier JSONL: sequence numbers,
+// timestamps, layer splits, and event windows must all replay exactly.
+func TestSlowOpDossierDeterminism(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		_, r, tr := runObsYCSBCSlowOps(t, true, 1)
+		if tr.Dropped() != 0 {
+			// Ring-wrap drop order follows host-side emission arrival, which is
+			// not deterministic; this workload must fit the default ring.
+			t.Fatalf("trace ring wrapped (%d dropped) — workload outgrew the ring", tr.Dropped())
+		}
+		ds := r.Col.SlowOps()
+		if len(ds) == 0 {
+			t.Fatal("no dossiers captured")
+		}
+		if bad := obs.VerifySlowOps(ds); len(bad) != 0 {
+			t.Fatalf("run %d dossiers invalid: %v", i, bad)
+		}
+		if err := r.Col.WriteSlowOpsJSONL(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		a := strings.Split(bufs[0].String(), "\n")
+		b := strings.Split(bufs[1].String(), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("dossier JSONL diverged at line %d:\n  run0: %s\n  run1: %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("dossier JSONL line counts diverged: %d vs %d", len(a), len(b))
 	}
 }
 

@@ -40,5 +40,7 @@ func BuildRunReport(res Result, r *Runner, tr *obs.Trace, includeEvents bool) ob
 	if includeEvents && tr != nil {
 		run.Events = tr.Events()
 	}
+	run.SlowOps = r.Col.SlowOps()
+	run.SlowOpsDropped = r.Col.SlowOpsDropped()
 	return run
 }

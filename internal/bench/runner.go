@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"sync"
 
 	"cachekv/internal/histogram"
@@ -8,6 +9,7 @@ import (
 	"cachekv/internal/hw/pmem"
 	"cachekv/internal/hw/sim"
 	"cachekv/internal/kvstore"
+	"cachekv/internal/lsm"
 	"cachekv/internal/obs"
 )
 
@@ -19,14 +21,16 @@ const (
 	OpPut OpKind = iota
 	OpGet
 	OpDelete
-	OpRMW // read-modify-write (YCSB-F)
+	OpRMW         // read-modify-write (YCSB-F)
+	OpDeleteRange // range tombstone over a narrow key interval
 )
 
 // Mix selects an operation kind per op index. Fractions are cumulative
 // probabilities evaluated against a per-op deterministic draw.
 type Mix struct {
-	PutFrac float64 // fraction of puts
-	RMWFrac float64 // fraction of read-modify-writes
+	PutFrac         float64 // fraction of puts
+	RMWFrac         float64 // fraction of read-modify-writes
+	DeleteRangeFrac float64 // fraction of range deletes
 	// remainder are gets
 }
 
@@ -149,6 +153,14 @@ func (r *Runner) Run(w Workload) (Result, error) {
 					}
 				case OpDelete:
 					err = r.DB.Delete(th, key)
+				case OpDeleteRange:
+					if rd, ok := r.DB.(rangeDeleter); ok {
+						err = rd.DeleteRange(th, key, rangeEnd(key))
+					} else {
+						// Engines without range tombstones model the same
+						// intent as a point delete.
+						err = r.DB.Delete(th, key)
+					}
 				}
 				if err != nil {
 					mu.Lock()
@@ -195,6 +207,8 @@ func spanOp(k OpKind) obs.Op {
 		return obs.OpDelete
 	case OpRMW:
 		return obs.OpRMW
+	case OpDeleteRange:
+		return obs.OpDeleteRange
 	default:
 		return obs.OpGet
 	}
@@ -208,9 +222,93 @@ func pickOp(m Mix, rng *sim.RNG) OpKind {
 		return OpPut
 	case u < m.PutFrac+m.RMWFrac:
 		return OpRMW
+	case u < m.PutFrac+m.RMWFrac+m.DeleteRangeFrac:
+		return OpDeleteRange
 	default:
 		return OpGet
 	}
+}
+
+// rangeDeleter is the optional engine surface behind OpDeleteRange (the
+// CacheKV family; single engine and sharded router both implement it).
+type rangeDeleter interface {
+	DeleteRange(th *hw.Thread, start, end []byte) error
+}
+
+// ingester is the optional bulk-load surface behind RunIngest.
+type ingester interface {
+	Ingest(th *hw.Thread, entries []lsm.IngestEntry) error
+}
+
+// rangeEnd returns the tightest exclusive upper bound covering key and its
+// immediate successors — a narrow range, so a delete-range mix thins the
+// keyspace instead of erasing it.
+func rangeEnd(key []byte) []byte {
+	end := append([]byte(nil), key...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return append(end, 0xff)
+}
+
+// RunIngest bulk-loads batches of ascending pre-built entries through the
+// engine's atomic Ingest path, one attribution span per batch, and returns a
+// phase result. Engines without an Ingest surface get the same data via
+// per-key Puts so cross-engine comparisons stay possible (their spans still
+// record under the ingest op type: the workload intent is identical).
+func (r *Runner) RunIngest(th *hw.Thread, batches, perBatch, valueSize int) (Result, error) {
+	if batches < 1 || perBatch < 1 {
+		batches, perBatch = 1, 1
+	}
+	res := Result{Name: "ingest", Engine: r.DB.Name(), Ops: int64(batches * perBatch),
+		Threads: 1, Latency: histogram.New()}
+	hwBefore := r.M.PMem.Snapshot()
+	th.Clock.AdvanceTo(r.epoch)
+	phasesBefore := th.PhaseBreakdown()
+	vals := NewValueGen(valueSize)
+	ing, hasIngest := r.DB.(ingester)
+	seq := 0
+	for b := 0; b < batches; b++ {
+		entries := make([]lsm.IngestEntry, perBatch)
+		for i := range entries {
+			entries[i] = lsm.IngestEntry{
+				Key:   []byte(fmt.Sprintf("zz-ingest%09d", seq)),
+				Value: append([]byte(nil), vals.Value(int64(seq))...),
+			}
+			seq++
+		}
+		sp := r.Col.StartOp(th, obs.OpIngest)
+		opStart := th.Clock.Now()
+		var err error
+		if hasIngest {
+			err = ing.Ingest(th, entries)
+		} else {
+			for _, e := range entries {
+				if err = r.DB.Put(th, e.Key, e.Value); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Latency.Record(th.Clock.Now() - opStart)
+		sp.End()
+	}
+	res.Breakdown = th.PhaseBreakdown().Sub(phasesBefore)
+	res.ThreadVNs = th.Clock.Now() - r.epoch
+	res.ElapsedNs = res.ThreadVNs
+	if res.ElapsedNs > 0 {
+		res.KopsPerSec = float64(res.Ops) / float64(res.ElapsedNs) * 1e6
+	}
+	res.HW = r.M.PMem.Snapshot().Sub(hwBefore)
+	if now := th.Clock.Now(); now > r.epoch {
+		r.epoch = now
+	}
+	return res, nil
 }
 
 // Settle flushes the engine and the XPBuffer so hardware counters quiesce

@@ -972,7 +972,7 @@ func (e *Engine) Close(th *hw.Thread) error {
 	// skips this — the power is already off.
 	if p := e.failed.Load(); p == nil || *p != errEngineCrashed {
 		if r, ok := e.m.LookupRegion(e.opts.regionName("pool")); ok {
-			th := e.m.NewThread(0)
+			th := e.m.NewThread(0).SetName(fmt.Sprintf("shard%d/close", e.opts.Shard))
 			e.m.Cache.FlushOpt(th.Clock, r.Addr, int(r.Size))
 		}
 	}

@@ -415,6 +415,8 @@ func (fc *flowControl) admit(th *hw.Thread, deadlineV int64) error {
 			if deadlineV > 0 && turn > deadlineV {
 				fc.mu.Unlock()
 				fc.rejectedWrites.Add(1)
+				fc.trace.Emit(now, "write_stall", "shard", fc.shard, "state", "slowdown",
+					"next_token_v_ns", turn, "deadline_v_ns", deadlineV)
 				return ErrStalled
 			}
 			fc.nextTokenV = turn + fc.refillNs
@@ -428,6 +430,7 @@ func (fc *flowControl) admit(th *hw.Thread, deadlineV int64) error {
 			if turn > now {
 				fc.delayedWrites.Add(1)
 				fc.delayedNs.Add(turn - now)
+				fc.trace.Emit(turn, "write_delay", "shard", fc.shard, "wait_ns", turn-now)
 				th.InPhase(hw.PhaseOther, func() {
 					th.Clock.AdvanceTo(turn)
 				})
@@ -437,6 +440,8 @@ func (fc *flowControl) admit(th *hw.Thread, deadlineV int64) error {
 			if deadlineV > 0 {
 				fc.mu.Unlock()
 				fc.rejectedWrites.Add(1)
+				fc.trace.Emit(th.Clock.Now(), "write_stall", "shard", fc.shard, "state", "stop",
+					"deadline_v_ns", deadlineV)
 				return ErrStalled
 			}
 			fc.stopWaits.Add(1)
@@ -452,6 +457,8 @@ func (fc *flowControl) admit(th *hw.Thread, deadlineV int64) error {
 				})
 			}
 			fc.stopWaitNs.Add(th.Clock.Now() - start)
+			fc.trace.Emit(th.Clock.Now(), "write_stop_wait", "shard", fc.shard,
+				"wait_ns", th.Clock.Now()-start)
 			// Loop: the state is now Slowdown or OK (or Stop again).
 		}
 	}

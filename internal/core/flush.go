@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -114,7 +115,7 @@ func (e *Engine) serveSpill(at int64) {
 		e.spillState.mu.Unlock()
 		return
 	}
-	th := e.m.NewThread(0)
+	th := e.m.NewThread(0).SetName(fmt.Sprintf("shard%d/spill", e.opts.Shard))
 	th.Clock.AdvanceTo(at)
 	start := th.Clock.Now()
 	th.InPhase(hw.PhaseSpill, func() {
@@ -231,7 +232,7 @@ func (e *Engine) flushOne(s *slot) {
 		finish()
 		return
 	}
-	th := e.m.NewThread(0)
+	th := e.m.NewThread(0).SetName(fmt.Sprintf("shard%d/flush", e.opts.Shard))
 	th.Clock.SetLabel(hw.PhaseBgFlush.Layer())
 	th.Clock.AdvanceTo(s.sealedAt.Load())
 	start := th.Clock.Now()
@@ -245,7 +246,7 @@ func (e *Engine) flushOne(s *slot) {
 	// The work itself runs here (the sub-skiplist must be complete before it
 	// moves to the ImmZone registry), but its virtual time is billed to the
 	// dedicated index thread, which overlaps with the copy-based flush.
-	syncTh := e.m.NewThread(0)
+	syncTh := e.m.NewThread(0).SetName(fmt.Sprintf("shard%d/index", e.opts.Shard))
 	syncTh.Clock.SetLabel(hw.PhaseIndex.Layer())
 	syncTh.Clock.AdvanceTo(s.sealedAt.Load())
 	e.syncSlot(syncTh, s)
@@ -504,7 +505,7 @@ func (e *Engine) indexLoop() {
 			if !ok {
 				return
 			}
-			th := e.m.NewThread(0)
+			th := e.m.NewThread(0).SetName(fmt.Sprintf("shard%d/index", e.opts.Shard))
 			th.Clock.SetLabel(hw.PhaseIndex.Layer())
 			th.Clock.AdvanceTo(req.at)
 			e.syncSlot(th, req.s)
@@ -513,7 +514,7 @@ func (e *Engine) indexLoop() {
 			if !ok {
 				return
 			}
-			th := e.m.NewThread(0)
+			th := e.m.NewThread(0).SetName(fmt.Sprintf("shard%d/compact", e.opts.Shard))
 			th.Clock.SetLabel(hw.PhaseCompact.Layer())
 			start := th.Clock.Now()
 			e.runCompaction(th)

@@ -438,7 +438,7 @@ func OpenSharded(m *hw.Machine, o ShardedOptions, th *hw.Thread) (*Sharded, erro
 			sh:       sh,
 			eng:      sh.shards[k],
 			id:       k,
-			th:       m.NewThread(k),
+			th:       m.NewThread(k).SetName(fmt.Sprintf("shard%d/writer", k)),
 			ch:       make(chan *writeReq, 1024),
 			maxOps:   o.GroupCommitMaxOps,
 			maxBytes: maxBytes,

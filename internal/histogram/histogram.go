@@ -162,6 +162,7 @@ type Summary struct {
 	P50Ns  float64 `json:"p50_ns"`
 	P90Ns  float64 `json:"p90_ns"`
 	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
 	MinNs  int64   `json:"min_ns"`
 	MaxNs  int64   `json:"max_ns"`
 }
@@ -174,6 +175,7 @@ func (h *H) Summary() Summary {
 		P50Ns:  h.Percentile(50),
 		P90Ns:  h.Percentile(90),
 		P99Ns:  h.Percentile(99),
+		P999Ns: h.Percentile(99.9),
 		MinNs:  h.Min(),
 		MaxNs:  h.Max(),
 	}

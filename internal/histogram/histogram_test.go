@@ -179,3 +179,62 @@ func TestPercentileMonotone(t *testing.T) {
 		prev = v
 	}
 }
+
+func TestMergeMatchesSingleStream(t *testing.T) {
+	// Sharded collection then Merge must be statistically indistinguishable
+	// from recording the same stream into one histogram: identical counts land
+	// in identical buckets, so every percentile matches exactly.
+	single := New()
+	shards := []*H{New(), New(), New(), New()}
+	v := int64(1)
+	for i := 0; i < 10000; i++ {
+		v = (v*6364136223846793005 + 1442695040888963407) % 5_000_000
+		if v < 0 {
+			v = -v
+		}
+		single.Record(v)
+		shards[i%len(shards)].Record(v)
+	}
+	merged := New()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != single.Count() || merged.Min() != single.Min() || merged.Max() != single.Max() {
+		t.Fatalf("merged envelope drifted: count %d/%d min %d/%d max %d/%d",
+			merged.Count(), single.Count(), merged.Min(), single.Min(), merged.Max(), single.Max())
+	}
+	if merged.Mean() != single.Mean() {
+		t.Fatalf("merged mean %f != single %f", merged.Mean(), single.Mean())
+	}
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 99.99, 100} {
+		if m, s := merged.Percentile(p), single.Percentile(p); m != s {
+			t.Fatalf("p%v: merged %f != single %f", p, m, s)
+		}
+	}
+	ms, ss := merged.Summary(), single.Summary()
+	if ms != ss {
+		t.Fatalf("summaries differ: %+v vs %+v", ms, ss)
+	}
+}
+
+func TestSummaryP999(t *testing.T) {
+	h := New()
+	// 9980 fast ops and 20 slow outliers: p99 stays low, p99.9 must reach
+	// into the outlier tail.
+	for i := 0; i < 9980; i++ {
+		h.Record(100)
+	}
+	for i := 0; i < 20; i++ {
+		h.Record(1_000_000)
+	}
+	s := h.Summary()
+	if s.P999Ns < s.P99Ns {
+		t.Fatalf("p99.9 %f below p99 %f", s.P999Ns, s.P99Ns)
+	}
+	if s.P99Ns >= 1000 {
+		t.Fatalf("p99 %f should not see the 0.1%% tail", s.P99Ns)
+	}
+	if s.P999Ns < 100_000 {
+		t.Fatalf("p99.9 %f missed the outlier tail", s.P999Ns)
+	}
+}

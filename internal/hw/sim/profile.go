@@ -1,0 +1,48 @@
+package sim
+
+import "sync/atomic"
+
+// Profile is one clock's virtual-time sampling profile. When a machine has
+// profiling enabled, every clock carries a Profile and a sample step S: each
+// time the clock crosses a multiple of S while advancing, one sample is
+// credited to the clock's current attribution layer — as busy when the
+// crossing happened inside Advance (modelled work) or as wait when it
+// happened inside AdvanceTo (blocking on a shared resource).
+//
+// Sampling is driven purely by virtual time, so the profile is a
+// deterministic function of the simulated schedule: a clock that ends at time
+// T holds exactly floor(T/S) samples, spread across layers in proportion to
+// where its virtual time actually went. That exact-count property is the
+// profiler's verification invariant (obs.VerifyProfiles).
+type Profile struct {
+	busy [MaxLayers]atomic.Int64
+	wait [MaxLayers]atomic.Int64
+}
+
+// Busy returns the busy samples credited to layer.
+func (p *Profile) Busy(layer int) int64 {
+	if p == nil || layer < 0 || layer >= MaxLayers {
+		return 0
+	}
+	return p.busy[layer].Load()
+}
+
+// Wait returns the wait samples credited to layer.
+func (p *Profile) Wait(layer int) int64 {
+	if p == nil || layer < 0 || layer >= MaxLayers {
+		return 0
+	}
+	return p.wait[layer].Load()
+}
+
+// TotalSamples returns the profile's sample count across all layers.
+func (p *Profile) TotalSamples() int64 {
+	if p == nil {
+		return 0
+	}
+	var t int64
+	for i := 0; i < MaxLayers; i++ {
+		t += p.busy[i].Load() + p.wait[i].Load()
+	}
+	return t
+}

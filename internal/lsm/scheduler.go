@@ -184,7 +184,7 @@ func (s *scheduler) abort() {
 
 func (s *scheduler) worker() {
 	defer s.wg.Done()
-	th := s.t.m.NewThread(0)
+	th := s.t.m.NewThread(0).SetName("compact-worker")
 	th.Clock.SetLabel(hw.PhaseCompact.Layer())
 	for {
 		select {

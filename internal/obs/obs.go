@@ -72,6 +72,8 @@ type Collector struct {
 	hist    [NumOps]*histogram.H
 	layerNs [NumOps][sim.MaxLayers]atomic.Int64
 	totalNs [NumOps]atomic.Int64
+
+	slow atomic.Pointer[slowState] // nil until EnableSlowOps
 }
 
 // NewCollector returns an empty collector.
@@ -114,6 +116,7 @@ type Span struct {
 	th     *hw.Thread
 	op     Op
 	start  int64
+	wait   int64
 	phases hw.Breakdown
 }
 
@@ -123,12 +126,15 @@ func (c *Collector) StartOp(th *hw.Thread, op Op) Span {
 	if c == nil || th == nil || op < 0 || op >= NumOps {
 		return Span{}
 	}
-	return Span{c: c, th: th, op: op, start: th.Clock.Now(), phases: th.PhaseBreakdown()}
+	return Span{c: c, th: th, op: op,
+		start: th.Clock.Now(), wait: th.Clock.WaitNs(), phases: th.PhaseBreakdown()}
 }
 
 // End closes the span: the clock delta becomes the op's recorded latency, and
 // the per-phase Breakdown delta is attributed to the matching layers, with
 // any residual (time outside every phase) attributed to the direct layer.
+// When slow-op capture is armed and the latency crosses the op's threshold,
+// a Dossier is recorded; the sub-threshold check is one atomic load.
 // Returns the span's total virtual ns.
 func (s Span) End() int64 {
 	if s.c == nil {
@@ -143,10 +149,45 @@ func (s Span) End() int64 {
 			attributed += d[p]
 		}
 	}
-	if resid := total - attributed; resid > 0 {
+	resid := total - attributed
+	if resid > 0 {
 		s.c.layerNs[s.op][0].Add(resid)
 	}
 	s.c.totalNs[s.op].Add(total)
 	s.c.hist[s.op].Record(total)
+	if sl := s.c.slow.Load(); sl != nil {
+		sl.maybeRefresh(s.c, s.op, s.c.hist[s.op].Count())
+		if thr := sl.thr[s.op].Load(); total > thr {
+			var layers []OpLayer
+			if resid > 0 {
+				layers = append(layers, OpLayer{Layer: hw.LayerName(0), Ns: resid})
+			}
+			for p := 0; p < hw.NumPhases; p++ {
+				if d[p] != 0 {
+					layers = append(layers, OpLayer{Layer: hw.LayerName(int(hw.Phase(p).Layer())), Ns: d[p]})
+				}
+			}
+			sl.capture(s, total, s.th.Clock.WaitNs()-s.wait, layers, thr)
+		}
+	}
 	return total
+}
+
+// Merge folds collector o's histograms, per-layer attribution, and totals
+// into c — how per-shard collectors combine into whole-DB percentiles without
+// re-running. Slow-op dossiers are capture state, not statistics, and are not
+// merged. Nil-safe on both sides.
+func (c *Collector) Merge(o *Collector) {
+	if c == nil || o == nil {
+		return
+	}
+	for op := Op(0); op < NumOps; op++ {
+		c.hist[op].Merge(o.hist[op])
+		c.totalNs[op].Add(o.totalNs[op].Load())
+		for l := 0; l < sim.MaxLayers; l++ {
+			if v := o.layerNs[op][l].Load(); v != 0 {
+				c.layerNs[op][l].Add(v)
+			}
+		}
+	}
 }

@@ -171,15 +171,24 @@ func TestTraceJSONL(t *testing.T) {
 	raw := buf.String()
 	sc := bufio.NewScanner(&buf)
 	var lines int
+	var evs []Event
 	for sc.Scan() {
 		var ev Event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("line %d not JSON: %v", lines, err)
 		}
+		evs = append(evs, ev)
 		lines++
 	}
-	if lines != 2 {
-		t.Fatalf("JSONL lines = %d, want 2", lines)
+	// Line 0 is the trace_meta header; the events follow.
+	if lines != 3 {
+		t.Fatalf("JSONL lines = %d, want 3 (meta + 2 events)", lines)
+	}
+	if evs[0].Type != "trace_meta" {
+		t.Fatalf("first line type = %q, want trace_meta", evs[0].Type)
+	}
+	if tru, ok := evs[0].Attrs["truncated"].(bool); !ok || tru {
+		t.Fatalf("unwrapped ring meta truncated = %v, want false", evs[0].Attrs["truncated"])
 	}
 	if !strings.Contains(raw, `"type":"flush_start"`) {
 		t.Fatalf("JSONL missing type: %s", raw)
@@ -399,8 +408,12 @@ func TestTraceJSONLUnmarshalAttrs(t *testing.T) {
 	if err := tr.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
+	lines := strings.SplitN(strings.TrimSpace(buf.String()), "\n", 2)
+	if len(lines) != 2 {
+		t.Fatalf("want meta line + event line, got %q", buf.String())
+	}
 	var ev Event
-	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
 		t.Fatal(err)
 	}
 	if ev.Seq != 1 || ev.VNs != 42 || ev.Type != "memtable_seal" {

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cachekv/internal/hw"
+)
+
+// ProfileEntry is one cell of the continuous virtual-time profile: how many
+// samples a named thread spent in one attribution layer, split busy vs wait.
+// Threads with the same name (e.g. the per-job flush threads of one shard)
+// fold into one entry.
+type ProfileEntry struct {
+	Thread  string `json:"thread"`
+	Kind    string `json:"kind"` // "busy" or "wait"
+	Layer   string `json:"layer"`
+	Samples int64  `json:"samples"`
+}
+
+// Profiles aggregates the machine's per-thread sampling profiles into named
+// entries, sorted by thread, kind, layer. Empty when the machine was built
+// without EnableProfiler.
+func Profiles(m *hw.Machine) []ProfileEntry {
+	if m == nil || m.ProfileStep() == 0 {
+		return nil
+	}
+	acc := make(map[[3]string]int64)
+	for _, th := range m.ProfiledThreads() {
+		p := th.Profile()
+		if p == nil {
+			continue
+		}
+		for l := 0; l < hw.NumLayers; l++ {
+			if v := p.Busy(l); v > 0 {
+				acc[[3]string{th.Name(), "busy", hw.LayerName(l)}] += v
+			}
+			if v := p.Wait(l); v > 0 {
+				acc[[3]string{th.Name(), "wait", hw.LayerName(l)}] += v
+			}
+		}
+	}
+	out := make([]ProfileEntry, 0, len(acc))
+	for k, v := range acc {
+		out = append(out, ProfileEntry{Thread: k[0], Kind: k[1], Layer: k[2], Samples: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Thread != out[j].Thread {
+			return out[i].Thread < out[j].Thread
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Layer < out[j].Layer
+	})
+	return out
+}
+
+// WriteFolded writes the profile in folded-stack form — one
+// "thread;kind;layer count" line per entry — the input format flamegraph
+// tooling (flamegraph.pl, speedscope, inferno) consumes directly.
+func WriteFolded(w io.Writer, entries []ProfileEntry) error {
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "%s;%s;%s %d\n", e.Thread, e.Kind, e.Layer, e.Samples); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyProfiles checks the profiler's exact-count invariant on every
+// profiled thread: a clock at virtual time T with sample period S has crossed
+// exactly floor(T/S) sample boundaries, so its busy+wait samples across all
+// layers must equal that — no sample lost, none double-counted. Returns a
+// description of each violation.
+func VerifyProfiles(m *hw.Machine) []string {
+	if m == nil || m.ProfileStep() == 0 {
+		return nil
+	}
+	step := m.ProfileStep()
+	var bad []string
+	for i, th := range m.ProfiledThreads() {
+		p := th.Profile()
+		if p == nil {
+			bad = append(bad, fmt.Sprintf("thread %d (%s): profiling enabled but no profile attached", i, th.Name()))
+			continue
+		}
+		got := p.TotalSamples()
+		want := th.Clock.Now() / step
+		if got != want {
+			bad = append(bad, fmt.Sprintf("thread %d (%s): %d samples, want %d (clock %d, step %d)",
+				i, th.Name(), got, want, th.Clock.Now(), step))
+		}
+	}
+	return bad
+}

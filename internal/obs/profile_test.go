@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cachekv/internal/hw"
+)
+
+func TestProfilerSampling(t *testing.T) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	m.EnableProfiler(1000)
+	th := m.NewThread(0).SetName("shard0/flush")
+
+	// 2500 ns busy under the bgflush phase: crosses boundaries 1000 and 2000.
+	th.InPhase(hw.PhaseBgFlush, func() { th.Clock.Advance(2500) })
+	// Wait to 4700: crosses 3000 and 4000 as wait samples under direct.
+	th.Clock.AdvanceTo(4700)
+	// 800 ns more busy work, crossing 5000.
+	th.Clock.Advance(800)
+
+	p := th.Profile()
+	if p == nil {
+		t.Fatal("profiled thread has no profile")
+	}
+	if got := p.Busy(int(hw.PhaseBgFlush.Layer())); got != 2 {
+		t.Fatalf("bgflush busy samples = %d, want 2", got)
+	}
+	if got := p.Wait(0); got != 2 {
+		t.Fatalf("direct wait samples = %d, want 2", got)
+	}
+	if got := p.Busy(0); got != 1 {
+		t.Fatalf("direct busy samples = %d, want 1", got)
+	}
+	if got, want := p.TotalSamples(), th.Clock.Now()/1000; got != want {
+		t.Fatalf("total samples = %d, want %d", got, want)
+	}
+	if bad := VerifyProfiles(m); len(bad) != 0 {
+		t.Fatalf("verify: %v", bad)
+	}
+
+	entries := Profiles(m)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	// Folded lines parse as "semicolon-stack space count".
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var thread, kind, layer string
+		var n int64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(sc.Text(), ";", " "), "%s %s %s %d",
+			&thread, &kind, &layer, &n); err != nil {
+			t.Fatalf("folded line %q unparseable: %v", sc.Text(), err)
+		}
+		if thread != "shard0/flush" || n <= 0 {
+			t.Fatalf("folded line wrong: %q", sc.Text())
+		}
+	}
+}
+
+func TestProfilerSampleConservation(t *testing.T) {
+	// Arbitrary advance patterns never lose or double-count a sample: total
+	// samples per thread == floor(now/step) exactly.
+	m := hw.NewMachine(hw.DefaultConfig())
+	m.EnableProfiler(7) // deliberately odd step
+	th := m.NewThread(0)
+	steps := []int64{1, 6, 7, 8, 13, 3, 3, 1, 100, 49}
+	for i, d := range steps {
+		if i%3 == 2 {
+			th.Clock.AdvanceTo(th.Clock.Now() + d)
+		} else {
+			th.Clock.Advance(d)
+		}
+	}
+	if got, want := th.Profile().TotalSamples(), th.Clock.Now()/7; got != want {
+		t.Fatalf("samples = %d, want %d", got, want)
+	}
+	if bad := VerifyProfiles(m); len(bad) != 0 {
+		t.Fatalf("verify: %v", bad)
+	}
+}
+
+func TestProfilerSameNameThreadsFold(t *testing.T) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	m.EnableProfiler(100)
+	a := m.NewThread(0).SetName("worker")
+	b := m.NewThread(1).SetName("worker")
+	a.Clock.Advance(1000)
+	b.Clock.Advance(500)
+	entries := Profiles(m)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %+v, want one folded row", entries)
+	}
+	if entries[0].Thread != "worker" || entries[0].Samples != 15 {
+		t.Fatalf("folded row wrong: %+v", entries[0])
+	}
+}
+
+func TestProfilerOffIsInert(t *testing.T) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	th := m.NewThread(0)
+	th.Clock.Advance(10_000)
+	if th.Profile() != nil {
+		t.Fatal("profile attached without EnableProfiler")
+	}
+	if Profiles(m) != nil || VerifyProfiles(m) != nil {
+		t.Fatal("profiler-off machine not inert")
+	}
+	if Profiles(nil) != nil || VerifyProfiles(nil) != nil {
+		t.Fatal("nil machine not inert")
+	}
+}
+
+func TestProfilerZeroVirtualOverhead(t *testing.T) {
+	// The same deterministic schedule must land on identical virtual
+	// timestamps with and without the profiler.
+	run := func(profile bool) int64 {
+		m := hw.NewMachine(hw.DefaultConfig())
+		if profile {
+			m.EnableProfiler(1000)
+		}
+		th := m.NewThread(0)
+		for i := 0; i < 500; i++ {
+			th.InPhase(hw.PhaseWAL, func() { th.Clock.Advance(123) })
+			th.Clock.AdvanceTo(th.Clock.Now() + int64(i%7))
+		}
+		return th.Clock.Now()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("profiler perturbed virtual time: %d != %d", a, b)
+	}
+}

@@ -47,7 +47,7 @@ const (
 	MFilterNegRatio  = "filter_negative_ratio"
 
 	MTraceEvents  = "trace_events"
-	MTraceDropped = "trace_dropped"
+	MTraceDropped = "trace_dropped_total"
 )
 
 // RegisterMachine registers the platform's hardware counters (PMem device and
@@ -165,17 +165,19 @@ type LayerStat struct {
 // and (optionally) the retained event trace. It deliberately carries no
 // wall-clock timestamps so identical runs produce identical reports.
 type RunReport struct {
-	Engine     string      `json:"engine"`
-	Workload   string      `json:"workload"`
-	Ops        int64       `json:"ops"`
-	Threads    int         `json:"threads"`
-	ElapsedVNs int64       `json:"elapsed_v_ns"`
-	ThreadVNs  int64       `json:"thread_v_ns,omitempty"`
-	KopsPerSec float64     `json:"kops_per_sec"`
-	OpStats    []OpStat    `json:"op_stats,omitempty"`
-	Layers     []LayerStat `json:"layers,omitempty"`
-	Metrics    *Snapshot   `json:"metrics,omitempty"`
-	Events     []Event     `json:"events,omitempty"`
+	Engine         string      `json:"engine"`
+	Workload       string      `json:"workload"`
+	Ops            int64       `json:"ops"`
+	Threads        int         `json:"threads"`
+	ElapsedVNs     int64       `json:"elapsed_v_ns"`
+	ThreadVNs      int64       `json:"thread_v_ns,omitempty"`
+	KopsPerSec     float64     `json:"kops_per_sec"`
+	OpStats        []OpStat    `json:"op_stats,omitempty"`
+	Layers         []LayerStat `json:"layers,omitempty"`
+	Metrics        *Snapshot   `json:"metrics,omitempty"`
+	Events         []Event     `json:"events,omitempty"`
+	SlowOps        []Dossier   `json:"slow_ops,omitempty"`
+	SlowOpsDropped uint64      `json:"slow_ops_dropped,omitempty"`
 }
 
 // Report is the top-level schema every tool emits.
@@ -343,6 +345,7 @@ func (r *RunReport) Verify() []string {
 			}
 		}
 	}
+	bad = append(bad, VerifySlowOps(r.SlowOps)...)
 	return bad
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -119,10 +120,68 @@ func (t *Trace) Seq() uint64 {
 	return t.seq
 }
 
-// WriteJSONL writes the retained events to w, one JSON object per line.
+// EventsBetween returns up to max retained events whose virtual timestamp
+// lies in [lo, hi], in ascending VNs order, preferring the latest when more
+// match. truncated reports that the returned window is incomplete: either
+// more than max events matched, or the ring has already dropped events old
+// enough to have fallen inside the window.
+func (t *Trace) EventsBetween(lo, hi int64, max int) (evs []Event, truncated bool) {
+	if t == nil || max <= 0 {
+		return nil, false
+	}
+	t.mu.Lock()
+	var oldest int64
+	if t.n > 0 {
+		oldest = t.buf[t.start].VNs
+	}
+	wrapped := t.dropped > 0
+	for i := 0; i < t.n; i++ {
+		e := t.buf[(t.start+i)%len(t.buf)]
+		if e.VNs >= lo && e.VNs <= hi {
+			evs = append(evs, e)
+		}
+	}
+	t.mu.Unlock()
+	if wrapped && lo < oldest {
+		truncated = true
+	}
+	// Order by virtual time with type/attrs tie-breaks: ring insertion order
+	// reflects host-side goroutine interleaving, so it must not influence
+	// which events survive the max cut below.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].VNs != evs[j].VNs {
+			return evs[i].VNs < evs[j].VNs
+		}
+		if evs[i].Type != evs[j].Type {
+			return evs[i].Type < evs[j].Type
+		}
+		return fmt.Sprint(evs[i].Attrs) < fmt.Sprint(evs[j].Attrs)
+	})
+	if len(evs) > max {
+		evs = evs[len(evs)-max:]
+		truncated = true
+	}
+	return evs, truncated
+}
+
+// WriteJSONL writes the retained events to w, one JSON object per line. The
+// first line is a trace_meta event summarizing emission state — total events
+// emitted, how many the ring retains, how many wrapped out, and a truncated
+// flag — so consumers know when the window is incomplete.
 func (t *Trace) WriteJSONL(w io.Writer) error {
+	evs := t.Events()
+	dropped := t.Dropped()
 	enc := json.NewEncoder(w)
-	for _, e := range t.Events() {
+	meta := Event{Type: "trace_meta", Attrs: map[string]any{
+		"emitted":   t.Seq(),
+		"retained":  len(evs),
+		"dropped":   dropped,
+		"truncated": dropped > 0,
+	}}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, e := range evs {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
